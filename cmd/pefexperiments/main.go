@@ -1,0 +1,66 @@
+// Command pefexperiments runs the complete experiment index of DESIGN.md —
+// every table and figure of the paper plus the extension experiments — and
+// writes the markdown report that EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pef/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pefexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		quick = flag.Bool("quick", false, "reduced horizons and sweeps")
+		only  = flag.String("only", "", "run a single experiment by ID (e.g. E-F2)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Seed: *seed, Quick: *quick}
+	fmt.Printf("# Experiment report (seed=%d, quick=%t)\n", *seed, *quick)
+
+	if *only != "" {
+		exp, ok := harness.Find(*only)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *only)
+		}
+		res, err := exp.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteResult(os.Stdout, res); err != nil {
+			return err
+		}
+		if !res.Pass {
+			return fmt.Errorf("experiment %s failed", *only)
+		}
+		return nil
+	}
+
+	results, err := harness.RunAll(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for _, r := range results {
+		if !r.Pass {
+			failures++
+		}
+	}
+	fmt.Printf("\n---\n%d/%d experiments reproduce the paper's predictions.\n",
+		len(results)-failures, len(results))
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

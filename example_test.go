@@ -1,0 +1,79 @@
+package pef_test
+
+import (
+	"fmt"
+
+	"pef"
+)
+
+// The possibility side of Table 1: three PEF_3+ robots perpetually explore
+// a ring whose edge vanishes forever — the paper's canonical hard case.
+func ExampleExplore() {
+	report, err := pef.Explore(pef.ExploreConfig{
+		Robots:    3,
+		Algorithm: pef.PEF3Plus(),
+		Dynamics:  pef.EventualMissing(8, 2, 32, 7),
+		Horizon:   2000,
+		Seed:      7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("covered %d/%d nodes\n", report.Covered, report.Nodes)
+	fmt.Printf("perpetual: %t\n", report.PerpetuallyExplored(1000))
+	// Output:
+	// covered 8/8 nodes
+	// perpetual: true
+}
+
+// The impossibility side: the Theorem 5.1 adversary confines any single
+// deterministic robot — here the paper's own PEF_3+ run with one robot —
+// to two nodes of an 8-node ring.
+func ExampleConfineOneRobot() {
+	report, err := pef.ConfineOneRobot(pef.PEF3Plus(), 8, 512)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("visited %d nodes (limit %d): confined=%t\n",
+		report.DistinctVisited, report.Limit, report.Confined)
+	// Output:
+	// visited 2 nodes (limit 2): confined=true
+}
+
+// Two robots fare no better on rings of size at least four: the four-phase
+// schedule of Theorem 4.1 (Figure 2) confines them to three nodes.
+func ExampleConfineTwoRobots() {
+	report, err := pef.ConfineTwoRobots(pef.PEF2(), 8, 512)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("visited %d nodes (limit %d): confined=%t\n",
+		report.DistinctVisited, report.Limit, report.Confined)
+	// Output:
+	// visited 3 nodes (limit 3): confined=true
+}
+
+// Explicit placements fix the initial configuration: the paper requires a
+// towerless start with fewer robots than nodes.
+func ExampleExplore_placements() {
+	report, err := pef.Explore(pef.ExploreConfig{
+		Algorithm: pef.PEF3Plus(),
+		Dynamics:  pef.Static(6),
+		Horizon:   120,
+		Placements: []pef.Placement{
+			{Node: 0, Chirality: pef.RightIsCW},
+			{Node: 2, Chirality: pef.RightIsCW},
+			{Node: 4, Chirality: pef.RightIsCW},
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cover time %d, max revisit gap %d\n", report.CoverTime, report.MaxGap)
+	// Output:
+	// cover time 1, max revisit gap 2
+}

@@ -1,0 +1,177 @@
+// Package classes implements finite-horizon membership checkers for the
+// dynamic-graph class taxonomy of Casteigts, Flocchini, Quattrociocchi and
+// Santoro ("Time-varying graphs and dynamic networks", cited as [6] by the
+// paper). The paper positions its contribution at the weakest useful level
+// of the hierarchy — connected-over-time rings — and its related work sits
+// at stronger levels (T-interval connectivity for Di Luna et al. and
+// Ilcinkas–Wade, periodicity for Flocchini–Mans–Santoro).
+//
+// On finite horizons the checkers are necessarily approximations of the
+// limit definitions; each documents its finite-horizon reading. They order
+// into the hierarchy
+//
+//	AlwaysConnected = 1-IntervalConnected ⊇ TIntervalConnected(T) for T ≥ 1
+//	TIntervalConnected(T) ⊆ ConnectedOverTime
+//	BoundedRecurrence(Δ) ⊆ Recurrent ⊆ ConnectedOverTime
+//	Periodic(p) with every ring edge appearing ⊆ BoundedRecurrence(Δ ≤ p)
+//
+// (schedule periodicity alone implies nothing about connectivity: a split
+// ring whose two cut edges never appear is perfectly periodic), which
+// experiment E-X9 verifies on generated instances.
+package classes
+
+import (
+	"pef/internal/dyngraph"
+)
+
+// Class identifies one taxonomy level.
+type Class string
+
+// The implemented taxonomy levels, from strongest to weakest.
+const (
+	AlwaysConnected    Class = "always-connected"
+	TIntervalConnected Class = "t-interval-connected"
+	Periodic           Class = "periodic"
+	BoundedRecurrent   Class = "bounded-recurrent"
+	Recurrent          Class = "recurrent"
+	ConnectedOverTime  Class = "connected-over-time"
+)
+
+// IsAlwaysConnected reports whether every snapshot in [0, horizon) is a
+// connected subgraph of the ring (at most one edge missing per instant).
+func IsAlwaysConnected(g dyngraph.EvolvingGraph, horizon int) bool {
+	for t := 0; t < horizon; t++ {
+		if !dyngraph.EdgesAt(g, t).ConnectedAsRing() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTIntervalConnected reports whether the trace is T-interval connected on
+// the horizon: every window of T consecutive instants shares a connected
+// spanning subgraph — on a ring, the intersection of the window's presence
+// sets misses at most one edge.
+func IsTIntervalConnected(g dyngraph.EvolvingGraph, tLen, horizon int) bool {
+	if tLen <= 0 {
+		return false
+	}
+	for start := 0; start+tLen <= horizon; start++ {
+		inter := dyngraph.EdgesAt(g, start)
+		for i := 1; i < tLen; i++ {
+			inter = inter.Intersect(dyngraph.EdgesAt(g, start+i))
+		}
+		if !inter.ConnectedAsRing() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPeriodic reports whether the trace repeats with the given period on the
+// horizon: presence(e, t) == presence(e, t+period) wherever both instants
+// lie on the horizon. Returns false for non-positive periods.
+func IsPeriodic(g dyngraph.EvolvingGraph, period, horizon int) bool {
+	if period <= 0 {
+		return false
+	}
+	r := g.Ring()
+	for t := 0; t+period < horizon; t++ {
+		for e := 0; e < r.Edges(); e++ {
+			if g.Present(e, t) != g.Present(e, t+period) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MinimalPeriod returns the smallest period in [1, maxPeriod] under which
+// the trace is periodic on the horizon, and ok=false if none is.
+func MinimalPeriod(g dyngraph.EvolvingGraph, maxPeriod, horizon int) (int, bool) {
+	for p := 1; p <= maxPeriod; p++ {
+		if IsPeriodic(g, p, horizon) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// IsBoundedRecurrent reports whether every edge appears at least once in
+// every window of delta instants that closes before the horizon.
+func IsBoundedRecurrent(g dyngraph.EvolvingGraph, delta, horizon int) bool {
+	got, ok := dyngraph.RecurrenceBound(g, horizon)
+	return ok && got <= delta
+}
+
+// IsRecurrent reports whether every edge of the ring is present at least
+// once and no edge looks eventually missing on the horizon (its trailing
+// absence run does not exceed every completed one).
+func IsRecurrent(g dyngraph.EvolvingGraph, horizon int) bool {
+	_, ok := dyngraph.RecurrenceBound(g, horizon)
+	return ok
+}
+
+// IsConnectedOverTime reports the paper's class on the horizon: from each
+// probe instant, every ordered pair of nodes is linked by a temporal
+// journey completing before the horizon.
+func IsConnectedOverTime(g dyngraph.EvolvingGraph, horizon int, probes []int) bool {
+	return dyngraph.VerifyConnectedOverTime(g, horizon, probes).OK
+}
+
+// Membership is the classification of one trace against the taxonomy.
+type Membership struct {
+	AlwaysConnected   bool
+	TInterval         int // largest T in [1, TMax] for which T-interval holds, 0 if none
+	Period            int // minimal period if periodic on the horizon, 0 otherwise
+	RecurrenceBound   int // Δ if bounded-recurrent, 0 otherwise
+	Recurrent         bool
+	ConnectedOverTime bool
+}
+
+// Classify runs the whole battery. TMax and PMax bound the searched
+// T-interval lengths and periods.
+func Classify(g dyngraph.EvolvingGraph, horizon, tMax, pMax int) Membership {
+	m := Membership{
+		AlwaysConnected:   IsAlwaysConnected(g, horizon),
+		Recurrent:         IsRecurrent(g, horizon),
+		ConnectedOverTime: IsConnectedOverTime(g, horizon, []int{0, horizon / 2}),
+	}
+	for t := tMax; t >= 1; t-- {
+		if IsTIntervalConnected(g, t, horizon) {
+			m.TInterval = t
+			break
+		}
+	}
+	if p, ok := MinimalPeriod(g, pMax, horizon); ok {
+		m.Period = p
+	}
+	if delta, ok := dyngraph.RecurrenceBound(g, horizon); ok {
+		m.RecurrenceBound = delta
+	}
+	return m
+}
+
+// RespectsHierarchy checks the sound taxonomy inclusions on a
+// classification: stronger memberships must imply the weaker ones. Note
+// that schedule periodicity implies recurrence only for edges that appear
+// at all, so a periodic classification constrains the recurrence bound
+// only when the trace is recurrent.
+func (m Membership) RespectsHierarchy() bool {
+	if m.AlwaysConnected && m.TInterval < 1 {
+		return false
+	}
+	if m.TInterval >= 1 && !m.ConnectedOverTime {
+		return false
+	}
+	if m.Period > 0 && m.Recurrent && m.RecurrenceBound > m.Period {
+		return false
+	}
+	if m.RecurrenceBound > 0 && !m.Recurrent {
+		return false
+	}
+	if m.Recurrent && !m.ConnectedOverTime {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+// Package convergence implements the impossibility framework of
+// Braud-Santoni, Dubois, Kaaouachi and Petit ("The next 700 impossibility
+// results in time-varying graphs", IJNC 2016), which both Theorem 4.1 and
+// Theorem 5.1 of the paper instantiate:
+//
+// Take a sequence of evolving graphs (G_i) with ever-growing common
+// prefixes; it converges to the evolving graph Gω sharing all those
+// prefixes. The framework's theorem states that the executions of a
+// deterministic algorithm on the G_i then converge to the execution on Gω:
+// they agree on ever-growing prefixes. An impossibility proof constructs
+// (G_i) such that the execution on G_i violates the specification for an
+// ever-growing duration; the limit execution then violates it forever.
+//
+// This package makes those objects concrete for recorded ring schedules
+// and verifies the two facts empirically: growing graph prefixes, and
+// execution prefix agreement.
+package convergence
+
+import (
+	"fmt"
+
+	"pef/internal/dyngraph"
+	"pef/internal/fsync"
+	"pef/internal/ring"
+	"pef/internal/robot"
+)
+
+// Sequence is a finite prefix of an evolving-graph sequence (G_0, G_1, ...)
+// over a common node set.
+type Sequence struct {
+	graphs []*dyngraph.Recorded
+}
+
+// NewSequence validates that all graphs share a ring size and returns the
+// sequence.
+func NewSequence(graphs ...*dyngraph.Recorded) (*Sequence, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("convergence: empty sequence")
+	}
+	n := graphs[0].Ring().Size()
+	for i, g := range graphs {
+		if g.Ring().Size() != n {
+			return nil, fmt.Errorf("convergence: graph %d has %d nodes, want %d", i, g.Ring().Size(), n)
+		}
+	}
+	return &Sequence{graphs: graphs}, nil
+}
+
+// Len returns the number of graphs.
+func (s *Sequence) Len() int { return len(s.graphs) }
+
+// Graph returns the i-th graph.
+func (s *Sequence) Graph(i int) *dyngraph.Recorded { return s.graphs[i] }
+
+// PrefixLengths returns, for each consecutive pair (G_i, G_{i+1}), the
+// length of their common prefix.
+func (s *Sequence) PrefixLengths() []int {
+	out := make([]int, 0, len(s.graphs)-1)
+	for i := 0; i+1 < len(s.graphs); i++ {
+		out = append(out, dyngraph.CommonPrefix(s.graphs[i], s.graphs[i+1]))
+	}
+	return out
+}
+
+// GrowingPrefixes reports whether consecutive common prefixes are strictly
+// increasing — the hypothesis of the framework's convergence theorem.
+func (s *Sequence) GrowingPrefixes() bool {
+	ls := s.PrefixLengths()
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			return false
+		}
+	}
+	return len(ls) > 0
+}
+
+// PhaseBoundaries returns the instants t >= 1 at which the presence set of
+// the recorded schedule changes. For the paper's adversaries each phase
+// uses a constant blocked set, so these boundaries are exactly the t_i of
+// the constructions.
+func PhaseBoundaries(rec *dyngraph.Recorded) []int {
+	var out []int
+	for t := 1; t < rec.Horizon(); t++ {
+		if !rec.Snapshot(t).Equal(rec.Snapshot(t - 1)) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SequenceFromSchedule reconstructs the proof's graph sequence from a
+// realized adversary schedule: G_i equals the schedule before the i-th
+// boundary and is the full (all edges present) ring afterwards. G_0 is the
+// fully static ring; the recorded schedule itself plays the role of (a
+// prefix of) Gω. All graphs share the schedule's horizon.
+func SequenceFromSchedule(rec *dyngraph.Recorded, boundaries []int) *Sequence {
+	n := rec.Ring().Size()
+	graphs := make([]*dyngraph.Recorded, 0, len(boundaries)+1)
+	build := func(cut int) *dyngraph.Recorded {
+		g := dyngraph.NewRecorded(n)
+		for t := 0; t < rec.Horizon(); t++ {
+			if t < cut {
+				g.Append(rec.Snapshot(t))
+			} else {
+				g.Append(ring.FullEdgeSet(n))
+			}
+		}
+		return g
+	}
+	graphs = append(graphs, build(0))
+	for _, b := range boundaries {
+		graphs = append(graphs, build(b))
+	}
+	seq, err := NewSequence(graphs...)
+	if err != nil {
+		// Unreachable: all graphs are built over rec's ring.
+		panic(err)
+	}
+	return seq
+}
+
+// Report is the outcome of VerifyExecutionConvergence.
+type Report struct {
+	// GraphPrefixes[i] is the common prefix length of G_i with the limit.
+	GraphPrefixes []int
+	// ExecutionPrefixes[i] is the number of instants for which the
+	// execution on G_i agrees (positions and states) with the execution
+	// on the limit graph.
+	ExecutionPrefixes []int
+	// OK reports the framework's guarantee: every execution agrees with
+	// the limit execution at least as long as its graph does.
+	OK bool
+	// Failures explains violations (capped at 8).
+	Failures []string
+}
+
+// VerifyExecutionConvergence checks the framework's theorem empirically:
+// for every G_i, the execution of alg from the placements on G_i must
+// coincide with the execution on the limit graph for at least the length
+// of their common graph prefix.
+func VerifyExecutionConvergence(alg robot.Algorithm, placements []fsync.Placement, seq *Sequence, limit *dyngraph.Recorded, horizon int) (Report, error) {
+	rep := Report{OK: true}
+	limitTrace, err := executionTrace(alg, placements, limit, horizon)
+	if err != nil {
+		return rep, err
+	}
+	for i := 0; i < seq.Len(); i++ {
+		g := seq.Graph(i)
+		gp := dyngraph.CommonPrefix(g, limit)
+		rep.GraphPrefixes = append(rep.GraphPrefixes, gp)
+		trace, err := executionTrace(alg, placements, g, horizon)
+		if err != nil {
+			return rep, err
+		}
+		ep := agreement(trace, limitTrace)
+		rep.ExecutionPrefixes = append(rep.ExecutionPrefixes, ep)
+		// Executions run on G_t snapshots for t < prefix produce identical
+		// configurations up to instant prefix (configuration at time p is
+		// determined by snapshots 0..p-1).
+		if ep < gp {
+			rep.OK = false
+			if len(rep.Failures) < 8 {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("G_%d: execution agrees for %d instants, graph prefix is %d", i, ep, gp))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// executionTrace runs alg deterministically and returns per-instant
+// snapshots (including the initial configuration).
+func executionTrace(alg robot.Algorithm, placements []fsync.Placement, g dyngraph.EvolvingGraph, horizon int) ([]fsync.Snapshot, error) {
+	rec := &fsync.SnapshotRecorder{}
+	sim, err := fsync.New(fsync.Config{
+		Algorithm:  alg,
+		Dynamics:   fsync.Oblivious{G: g},
+		Placements: placements,
+		Observers:  []fsync.Observer{rec},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("convergence: %w", err)
+	}
+	sim.Run(horizon)
+	snaps := make([]fsync.Snapshot, rec.Len())
+	for t := 0; t < rec.Len(); t++ {
+		snaps[t] = rec.At(t)
+	}
+	return snaps, nil
+}
+
+// agreement returns the number of leading instants at which the two traces
+// have identical configurations (positions and states).
+func agreement(a, b []fsync.Snapshot) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for t := 0; t < n; t++ {
+		if !sameConfig(a[t], b[t]) {
+			return t
+		}
+	}
+	return n
+}
+
+func sameConfig(a, b fsync.Snapshot) bool {
+	if len(a.Positions) != len(b.Positions) {
+		return false
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] || a.States[i] != b.States[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's primary contribution: the three
+// perpetual-exploration algorithms for fully synchronous robots on
+// connected-over-time rings.
+//
+//   - PEF_3+ (Algorithm 1, Section 3): k >= 3 robots, any ring of n > k
+//     nodes.
+//   - PEF_2 (Section 4.2): 2 robots on the 3-node ring.
+//   - PEF_1 (Section 5.2): 1 robot on the 2-node ring.
+//
+// The package also provides the two single-rule ablations of PEF_3+ used by
+// experiment E-X3 to demonstrate why Rules 2 and 3 are both necessary.
+package core
+
+import (
+	"fmt"
+
+	"pef/internal/robot"
+)
+
+// PEF3PlusName is the registry name of Algorithm 1.
+const PEF3PlusName = "pef3+"
+
+// PEF3Plus is Algorithm 1 of the paper (Perpetual Exploration in FSYNC with
+// 3 or more robots). Its entire behaviour is three rules:
+//
+//	Rule 1: a robot that is not involved in a tower keeps its direction.
+//	Rule 2: a robot that did not move in the previous step and is now in a
+//	        tower keeps its direction (the sentinel keeps its post).
+//	Rule 3: a robot that moved in the previous step and is now in a tower
+//	        turns back (the explorer bounces off the sentinel).
+//
+// The persistent variables are dir and HasMovedPreviousStep.
+type PEF3Plus struct{}
+
+// Name implements robot.Algorithm.
+func (PEF3Plus) Name() string { return PEF3PlusName }
+
+// NewCore implements robot.Algorithm.
+func (PEF3Plus) NewCore() robot.Core { return &pef3Core{dir: robot.Left} }
+
+type pef3Core struct {
+	dir   robot.LocalDir
+	moved bool // HasMovedPreviousStep
+}
+
+func (c *pef3Core) Dir() robot.LocalDir { return c.dir }
+
+// Compute is the literal transcription of Algorithm 1:
+//
+//	1: if HasMovedPreviousStep ∧ ExistsOtherRobotsOnCurrentNode() then
+//	2:     dir ← opposite(dir)
+//	3: end if
+//	4: HasMovedPreviousStep ← ExistsEdge(dir)
+//
+// Line 4 reads ExistsEdge with the *possibly updated* dir: it predicts
+// whether the Move phase of this very round will cross an edge, which is
+// exactly "has moved" when the next Look runs.
+func (c *pef3Core) Compute(view robot.View) {
+	look := c.dir // the direction the Look-phase predicates were gathered with
+	if c.moved && view.OtherRobots {
+		c.dir = c.dir.Opposite()
+	}
+	c.moved = view.ExistsEdge(look, c.dir)
+}
+
+func (c *pef3Core) State() string {
+	return fmt.Sprintf("dir=%s,moved=%t", c.dir, c.moved)
+}
+
+// verify interface compliance at compile time.
+var _ robot.Algorithm = PEF3Plus{}
+var _ robot.Core = (*pef3Core)(nil)
+
+// NoRule3Name is the registry name of the ablation that removes Rule 3.
+const NoRule3Name = "pef3+/no-rule3"
+
+// NoRule3 is PEF_3+ with Rule 3 removed: robots never turn back, towers or
+// not (pure Rule 1). Lemma 3.1's argument shows why this fails: with an
+// eventual missing edge every robot eventually parks at an extremity and
+// the far side of the ring is never visited again (experiment E-X3).
+type NoRule3 struct{}
+
+// Name implements robot.Algorithm.
+func (NoRule3) Name() string { return NoRule3Name }
+
+// NewCore implements robot.Algorithm.
+func (NoRule3) NewCore() robot.Core {
+	return robot.Func{
+		AlgName: NoRule3Name,
+		Rule: func(dir robot.LocalDir, _ robot.View) robot.LocalDir {
+			return dir
+		},
+	}.NewCore()
+}
+
+// NoRule2Name is the registry name of the ablation that removes Rule 2.
+const NoRule2Name = "pef3+/no-rule2"
+
+// NoRule2 is PEF_3+ with Rule 2 inverted: every robot involved in a tower
+// turns back, whether or not it moved in the previous step. Sentinels
+// abandon their post at the eventual missing edge on every meeting, so the
+// sentinel/explorer role separation of Lemma 3.7 is destroyed (E-X3 shows
+// the consequences empirically).
+type NoRule2 struct{}
+
+// Name implements robot.Algorithm.
+func (NoRule2) Name() string { return NoRule2Name }
+
+// NewCore implements robot.Algorithm.
+func (NoRule2) NewCore() robot.Core {
+	return robot.Func{
+		AlgName: NoRule2Name,
+		Rule: func(dir robot.LocalDir, view robot.View) robot.LocalDir {
+			if view.OtherRobots {
+				return dir.Opposite()
+			}
+			return dir
+		},
+	}.NewCore()
+}

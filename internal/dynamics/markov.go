@@ -1,0 +1,74 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"pef/internal/dyngraph"
+	"pef/internal/prng"
+	"pef/internal/ring"
+)
+
+// GenerateMarkov materializes a bursty-link evolving ring: each edge is an
+// independent two-state Markov chain (present/absent) with transition
+// probabilities up (absent→present) and down (present→absent). Unlike the
+// memoryless Bernoulli dynamics, absences come in runs — the realistic
+// model for doors, road works, or flaky radio links. Chains are sequential
+// by nature, so the generator returns a pre-materialized Recorded trace of
+// the given horizon (random-access, serializable, replayable like any
+// other recorded schedule).
+//
+// All edges start present. With up > 0 every edge is recurrent in
+// expectation with mean absence run 1/up, so the trace is
+// connected-over-time with overwhelming probability on the horizons the
+// experiments use (tests verify it).
+func GenerateMarkov(n int, up, down float64, seed uint64, horizon int) (*dyngraph.Recorded, error) {
+	if up <= 0 || up > 1 || down < 0 || down > 1 {
+		return nil, fmt.Errorf("dynamics: Markov probabilities up=%v down=%v outside (0,1]/[0,1]", up, down)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("dynamics: negative horizon %d", horizon)
+	}
+	rec := dyngraph.NewRecorded(n)
+	state := make([]bool, n)
+	for e := range state {
+		state[e] = true
+	}
+	src := prng.NewSource(seed)
+	for t := 0; t < horizon; t++ {
+		set := ring.NewEdgeSet(n)
+		for e := 0; e < n; e++ {
+			if state[e] {
+				set.Add(e)
+			}
+		}
+		rec.Append(set)
+		// Transition between instants: the state at t+1 derives from the
+		// state at t.
+		for e := 0; e < n; e++ {
+			if state[e] {
+				if src.Bool(down) {
+					state[e] = false
+				}
+			} else if src.Bool(up) {
+				state[e] = true
+			}
+		}
+	}
+	return rec, nil
+}
+
+// MarkovSpec wraps GenerateMarkov as a workload Spec with the given
+// horizon; Build panics on invalid parameters (they are programmer-chosen
+// constants in the suites).
+func MarkovSpec(up, down float64, horizon int) Spec {
+	return Spec{
+		Name: "markov-" + ftoa(up) + "-" + ftoa(down),
+		Build: func(n int, seed uint64) dyngraph.EvolvingGraph {
+			g, err := GenerateMarkov(n, up, down, seed, horizon)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		},
+	}
+}

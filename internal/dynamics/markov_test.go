@@ -1,0 +1,90 @@
+package dynamics
+
+import (
+	"testing"
+
+	"pef/internal/dyngraph"
+)
+
+func TestGenerateMarkovShape(t *testing.T) {
+	g, err := GenerateMarkov(6, 0.4, 0.2, 9, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Horizon() != 500 || g.Ring().Size() != 6 {
+		t.Fatalf("horizon=%d n=%d", g.Horizon(), g.Ring().Size())
+	}
+	// All edges start present.
+	if !g.Snapshot(0).IsFull() {
+		t.Fatalf("initial snapshot %v not full", g.Snapshot(0))
+	}
+}
+
+func TestGenerateMarkovValidation(t *testing.T) {
+	cases := []struct{ up, down float64 }{
+		{0, 0.5}, {-0.1, 0.5}, {1.5, 0.5}, {0.5, -0.1}, {0.5, 1.5},
+	}
+	for _, c := range cases {
+		if _, err := GenerateMarkov(4, c.up, c.down, 1, 10); err == nil {
+			t.Errorf("up=%v down=%v accepted", c.up, c.down)
+		}
+	}
+	if _, err := GenerateMarkov(4, 0.5, 0.5, 1, -1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestGenerateMarkovDeterministic(t *testing.T) {
+	a, _ := GenerateMarkov(5, 0.3, 0.3, 42, 200)
+	b, _ := GenerateMarkov(5, 0.3, 0.3, 42, 200)
+	if dyngraph.CommonPrefix(a, b) != 200 {
+		t.Fatal("same seed diverged")
+	}
+	c, _ := GenerateMarkov(5, 0.3, 0.3, 43, 200)
+	if dyngraph.CommonPrefix(a, c) == 200 {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestGenerateMarkovBurstiness(t *testing.T) {
+	// With small transition probabilities, consecutive instants should
+	// mostly agree — the defining property versus Bernoulli.
+	g, err := GenerateMarkov(4, 0.2, 0.2, 7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	for tt := 1; tt < 2000; tt++ {
+		for e := 0; e < 4; e++ {
+			total++
+			if g.Present(e, tt) == g.Present(e, tt-1) {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.7 {
+		t.Fatalf("agreement fraction %.2f too low for a bursty chain", frac)
+	}
+}
+
+func TestGenerateMarkovConnectedOverTime(t *testing.T) {
+	g, err := GenerateMarkov(6, 0.5, 0.2, 3, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := dyngraph.VerifyConnectedOverTime(g, 600, []int{0, 200, 400})
+	if !rep.OK {
+		t.Fatalf("Markov trace not connected-over-time: %+v", rep.Failures)
+	}
+}
+
+func TestMarkovSpec(t *testing.T) {
+	sp := MarkovSpec(0.5, 0.3, 300)
+	g := sp.Build(5, 11)
+	if g.Ring().Size() != 5 {
+		t.Fatal("spec built wrong ring")
+	}
+	if sp.Name == "" {
+		t.Fatal("empty spec name")
+	}
+}

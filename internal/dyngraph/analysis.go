@@ -1,0 +1,175 @@
+package dyngraph
+
+import (
+	"pef/internal/ring"
+)
+
+// UnderlyingEdges returns the edge set of the underlying graph U_G restricted
+// to the horizon [0, horizon): every edge present at least once.
+func UnderlyingEdges(g EvolvingGraph, horizon int) ring.EdgeSet {
+	r := g.Ring()
+	s := ring.NewEdgeSet(r.Edges())
+	for e := 0; e < r.Edges(); e++ {
+		for t := 0; t < horizon; t++ {
+			if g.Present(e, t) {
+				s.Add(e)
+				break
+			}
+		}
+	}
+	return s
+}
+
+// LastPresence returns the last instant in [0, horizon) at which edge e is
+// present, and ok=false if it is never present on the horizon.
+func LastPresence(g EvolvingGraph, e, horizon int) (last int, ok bool) {
+	for t := horizon - 1; t >= 0; t-- {
+		if g.Present(e, t) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// EventuallyMissingEdges returns the edges that disappear before the horizon
+// ends and never come back within it: e is reported iff it is absent on the
+// whole suffix [horizon-suffix, horizon). On an infinite graph this is an
+// approximation of the paper's eventual-missing set that becomes exact when
+// the suffix covers the post-convergence regime; experiments choose the
+// suffix accordingly.
+func EventuallyMissingEdges(g EvolvingGraph, horizon, suffix int) []int {
+	r := g.Ring()
+	if suffix > horizon {
+		suffix = horizon
+	}
+	var out []int
+	for e := 0; e < r.Edges(); e++ {
+		missing := true
+		for t := horizon - suffix; t < horizon; t++ {
+			if g.Present(e, t) {
+				missing = false
+				break
+			}
+		}
+		if missing {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RecurrentEdges returns the edges of the eventual underlying graph U^ω_G
+// restricted to the horizon: edges present at least once in the suffix
+// window [horizon-suffix, horizon). Complement of EventuallyMissingEdges
+// within the underlying edge set.
+func RecurrentEdges(g EvolvingGraph, horizon, suffix int) ring.EdgeSet {
+	r := g.Ring()
+	if suffix > horizon {
+		suffix = horizon
+	}
+	s := ring.NewEdgeSet(r.Edges())
+	for e := 0; e < r.Edges(); e++ {
+		for t := horizon - suffix; t < horizon; t++ {
+			if g.Present(e, t) {
+				s.Add(e)
+				break
+			}
+		}
+	}
+	return s
+}
+
+// OneEdge implements the predicate OneEdge(u, t, t') of Section 2.1: an
+// adjacent edge of u is continuously missing from time t to time t' while
+// the other adjacent edge of u is continuously present from t to t'. Both
+// bounds are inclusive, as in the paper.
+func OneEdge(g EvolvingGraph, u, t, tPrime int) bool {
+	r := g.Ring()
+	cw := r.EdgeTowards(u, ring.CW)
+	ccw := r.EdgeTowards(u, ring.CCW)
+	return edgeConstant(g, cw, t, tPrime, false) && edgeConstant(g, ccw, t, tPrime, true) ||
+		edgeConstant(g, cw, t, tPrime, true) && edgeConstant(g, ccw, t, tPrime, false)
+}
+
+// edgeConstant reports whether edge e is present (want=true) or absent
+// (want=false) at every instant of the inclusive range [t, tPrime].
+func edgeConstant(g EvolvingGraph, e, t, tPrime int, want bool) bool {
+	for i := t; i <= tPrime; i++ {
+		if g.Present(e, i) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// AbsenceIntervals returns the maximal half-open intervals of [0, horizon)
+// during which edge e is absent, in increasing order. The impossibility
+// constructions use this to verify that every edge of Gω has only finite,
+// disjoint absence intervals (hence is recurrent).
+func AbsenceIntervals(g EvolvingGraph, e, horizon int) []Interval {
+	var out []Interval
+	start := -1
+	for t := 0; t < horizon; t++ {
+		if !g.Present(e, t) {
+			if start < 0 {
+				start = t
+			}
+		} else if start >= 0 {
+			out = append(out, Interval{Start: start, End: t})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, Interval{Start: start, End: horizon})
+	}
+	return out
+}
+
+// MaxAbsenceRun returns the length of the longest absence interval of edge e
+// within [0, horizon). An edge with MaxAbsenceRun < horizon that ends
+// present is recurrent on the horizon.
+func MaxAbsenceRun(g EvolvingGraph, e, horizon int) int {
+	longest := 0
+	for _, iv := range AbsenceIntervals(g, e, horizon) {
+		if iv.Len() > longest {
+			longest = iv.Len()
+		}
+	}
+	return longest
+}
+
+// RecurrenceBound returns the smallest Δ such that on [0, horizon) every
+// edge of the ring is present at least once in every window of Δ
+// consecutive instants that closes before the horizon. It returns ok=false
+// when some edge looks eventually missing on this horizon: it is never
+// present at all, or its trailing (unresolved) absence run is strictly
+// longer than every completed one. The bound controls PEF_3+'s revisit gap
+// (experiment E-X2).
+func RecurrenceBound(g EvolvingGraph, horizon int) (delta int, ok bool) {
+	r := g.Ring()
+	delta = 1
+	for e := 0; e < r.Edges(); e++ {
+		if _, present := LastPresence(g, e, horizon); !present {
+			return 0, false
+		}
+		completed, trailing := 0, 0
+		for _, iv := range AbsenceIntervals(g, e, horizon) {
+			if iv.End == horizon {
+				trailing = iv.Len()
+			} else if iv.Len() > completed {
+				completed = iv.Len()
+			}
+		}
+		if trailing > completed {
+			// The edge has been absent for longer than ever before and the
+			// horizon cannot tell whether it will return.
+			return 0, false
+		}
+		// An absence run of length L means a window of L+1 instants is
+		// needed to guarantee one presence.
+		if completed+1 > delta {
+			delta = completed + 1
+		}
+	}
+	return delta, true
+}

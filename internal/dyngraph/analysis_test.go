@@ -1,0 +1,144 @@
+package dyngraph
+
+import (
+	"testing"
+
+	"pef/internal/ring"
+)
+
+// scheduleGraph builds a small recorded trace from explicit presence rows.
+func scheduleGraph(t *testing.T, n int, rows [][]int) *Recorded {
+	t.Helper()
+	rec := NewRecorded(n)
+	for _, row := range rows {
+		rec.Append(ring.EdgeSetOf(n, row...))
+	}
+	return rec
+}
+
+func TestUnderlyingEdges(t *testing.T) {
+	g := scheduleGraph(t, 4, [][]int{
+		{0},
+		{0, 1},
+		{},
+		{0, 2},
+	})
+	u := UnderlyingEdges(g, 4)
+	if !u.Contains(0) || !u.Contains(1) || !u.Contains(2) || u.Contains(3) {
+		t.Fatalf("underlying = %v", u)
+	}
+	// Restricting the horizon excludes later appearances.
+	u = UnderlyingEdges(g, 2)
+	if u.Contains(2) {
+		t.Fatal("edge 2 should not be in the 2-instant underlying graph")
+	}
+}
+
+func TestLastPresence(t *testing.T) {
+	g := scheduleGraph(t, 3, [][]int{{1}, {0, 1}, {1}, {}})
+	if last, ok := LastPresence(g, 0, 4); !ok || last != 1 {
+		t.Fatalf("LastPresence(0) = %d,%v", last, ok)
+	}
+	if last, ok := LastPresence(g, 1, 4); !ok || last != 2 {
+		t.Fatalf("LastPresence(1) = %d,%v", last, ok)
+	}
+	if _, ok := LastPresence(g, 2, 4); ok {
+		t.Fatal("edge 2 was never present")
+	}
+}
+
+func TestEventuallyMissingAndRecurrent(t *testing.T) {
+	// Edge 0 present only early; edge 1 always; edge 2 never.
+	g := scheduleGraph(t, 3, [][]int{
+		{0, 1}, {0, 1}, {1}, {1}, {1}, {1},
+	})
+	missing := EventuallyMissingEdges(g, 6, 4)
+	if len(missing) != 2 || missing[0] != 0 || missing[1] != 2 {
+		t.Fatalf("eventually missing = %v", missing)
+	}
+	rec := RecurrentEdges(g, 6, 4)
+	if !rec.Contains(1) || rec.Contains(0) || rec.Contains(2) {
+		t.Fatalf("recurrent = %v", rec)
+	}
+	// A suffix longer than the horizon clamps.
+	if got := EventuallyMissingEdges(g, 6, 100); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("clamped suffix = %v", got)
+	}
+}
+
+func TestOneEdgePredicate(t *testing.T) {
+	// Node 1 of a 4-ring has adjacent edges 0 (CCW side) and 1 (CW side).
+	g := scheduleGraph(t, 4, [][]int{
+		{0, 2, 3},    // t=0: edge 1 missing, edge 0 present -> OneEdge holds
+		{0, 2, 3},    // t=1: same
+		{0, 1, 2, 3}, // t=2: both present -> violated
+	})
+	if !OneEdge(g, 1, 0, 1) {
+		t.Fatal("OneEdge(1,0,1) should hold")
+	}
+	if OneEdge(g, 1, 0, 2) {
+		t.Fatal("OneEdge(1,0,2) should fail at t=2")
+	}
+	// The mirrored situation (CW side present, CCW missing) also counts.
+	g2 := scheduleGraph(t, 4, [][]int{{1, 2, 3}, {1, 2, 3}})
+	if !OneEdge(g2, 1, 0, 1) {
+		t.Fatal("mirrored OneEdge should hold")
+	}
+	// Both missing: not OneEdge.
+	g3 := scheduleGraph(t, 4, [][]int{{2, 3}})
+	if OneEdge(g3, 1, 0, 0) {
+		t.Fatal("both-missing is not OneEdge")
+	}
+}
+
+func TestAbsenceIntervals(t *testing.T) {
+	g := scheduleGraph(t, 2, [][]int{
+		{1}, {1}, {0, 1}, {1}, {0, 1}, {1}, {1},
+	})
+	ivs := AbsenceIntervals(g, 0, 7)
+	want := []Interval{{0, 2}, {3, 4}, {5, 7}}
+	if len(ivs) != len(want) {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("intervals = %v, want %v", ivs, want)
+		}
+	}
+	if len(AbsenceIntervals(g, 1, 7)) != 0 {
+		t.Fatal("always-present edge has absence intervals")
+	}
+	if got := MaxAbsenceRun(g, 0, 7); got != 2 {
+		t.Fatalf("MaxAbsenceRun = %d, want 2", got)
+	}
+}
+
+func TestRecurrenceBound(t *testing.T) {
+	// The longest absence run is 1 instant, so every window of 2 contains
+	// a presence.
+	g := scheduleGraph(t, 2, [][]int{
+		{0}, {1}, {0, 1}, {0}, {1}, {0, 1},
+	})
+	delta, ok := RecurrenceBound(g, 6)
+	if !ok || delta != 2 {
+		t.Fatalf("RecurrenceBound = %d,%v, want 2,true", delta, ok)
+	}
+	// A two-instant absence run pushes the bound to 3.
+	g4 := scheduleGraph(t, 2, [][]int{
+		{1}, {1}, {0, 1}, {0, 1}, {0, 1}, {0, 1},
+	})
+	delta, ok = RecurrenceBound(g4, 6)
+	if !ok || delta != 3 {
+		t.Fatalf("RecurrenceBound = %d,%v, want 3,true", delta, ok)
+	}
+	// An edge absent through the end of the horizon is unresolved.
+	g2 := scheduleGraph(t, 2, [][]int{{0, 1}, {0}, {0}, {0}})
+	if _, ok := RecurrenceBound(g2, 4); ok {
+		t.Fatal("unresolved trailing absence accepted")
+	}
+	// A never-present edge has no bound.
+	g3 := scheduleGraph(t, 2, [][]int{{0}, {0}})
+	if _, ok := RecurrenceBound(g3, 2); ok {
+		t.Fatal("never-present edge accepted")
+	}
+}

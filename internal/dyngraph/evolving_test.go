@@ -1,0 +1,118 @@
+package dyngraph
+
+import (
+	"testing"
+
+	"pef/internal/ring"
+)
+
+func TestStaticAlwaysPresent(t *testing.T) {
+	g := NewStatic(5)
+	for _, tt := range []int{0, 1, 100, 1 << 20} {
+		for e := 0; e < 5; e++ {
+			if !g.Present(e, tt) {
+				t.Fatalf("edge %d absent at t=%d on static graph", e, tt)
+			}
+		}
+	}
+	if g.Present(5, 0) || g.Present(-1, 0) || g.Present(0, -1) {
+		t.Fatal("out-of-range queries must be false")
+	}
+}
+
+func TestEdgesAt(t *testing.T) {
+	g := NewEventualMissing(NewStatic(4), 2, 10)
+	s := EdgesAt(g, 5)
+	if !s.IsFull() {
+		t.Fatalf("before removal: %v", s)
+	}
+	s = EdgesAt(g, 10)
+	if s.Contains(2) || s.Count() != 3 {
+		t.Fatalf("after removal: %v", s)
+	}
+}
+
+func TestIntervalSemantics(t *testing.T) {
+	iv := Incl(3, 5) // paper's {3,4,5}
+	if iv.Len() != 3 || !iv.Contains(3) || !iv.Contains(5) || iv.Contains(6) || iv.Contains(2) {
+		t.Fatalf("Incl(3,5) = %v", iv)
+	}
+	if (Interval{Start: 4, End: 4}).Len() != 0 {
+		t.Fatal("empty interval has non-zero length")
+	}
+	if !(Interval{0, 3}).Overlaps(Interval{2, 5}) {
+		t.Fatal("overlapping intervals not detected")
+	}
+	if (Interval{0, 3}).Overlaps(Interval{3, 5}) {
+		t.Fatal("touching half-open intervals must not overlap")
+	}
+	if (Interval{2, 2}).Overlaps(Interval{0, 9}) {
+		t.Fatal("empty interval cannot overlap")
+	}
+	if got := (Interval{1, 4}).String(); got != "[1,4)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestWithoutOperator(t *testing.T) {
+	// G \ {(e1, τ1), (e2, τ2)} exactly as in Section 2.1.
+	g := NewWithout(NewStatic(6),
+		Removal{Edge: 0, During: []Interval{Incl(2, 4), Incl(8, 8)}},
+		Removal{Edge: 3, During: []Interval{Incl(0, 1)}},
+	)
+	cases := []struct {
+		e, t    int
+		present bool
+	}{
+		{0, 1, true}, {0, 2, false}, {0, 4, false}, {0, 5, true},
+		{0, 8, false}, {0, 9, true},
+		{3, 0, false}, {3, 1, false}, {3, 2, true},
+		{1, 3, true}, {5, 100, true},
+	}
+	for _, c := range cases {
+		if got := g.Present(c.e, c.t); got != c.present {
+			t.Errorf("Present(%d,%d) = %v, want %v", c.e, c.t, got, c.present)
+		}
+	}
+}
+
+func TestWithoutCopiesRemovals(t *testing.T) {
+	during := []Interval{Incl(0, 5)}
+	rm := Removal{Edge: 1, During: during}
+	g := NewWithout(NewStatic(4), rm)
+	during[0] = Incl(100, 200) // caller mutation must not affect g
+	if g.Present(1, 3) {
+		t.Fatal("mutation of caller's slice leaked into Without")
+	}
+	rs := g.Removals()
+	rs[0].Edge = 99 // returned copy must be independent
+	if g.Removals()[0].Edge != 1 {
+		t.Fatal("Removals returned shared storage")
+	}
+}
+
+func TestEventualMissingAccessors(t *testing.T) {
+	g := NewEventualMissing(NewStatic(4), 1, 7)
+	if g.Edge() != 1 || g.From() != 7 {
+		t.Fatal("accessors wrong")
+	}
+	if !g.Present(1, 6) || g.Present(1, 7) || g.Present(1, 1000) {
+		t.Fatal("eventual missing semantics wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid edge accepted")
+		}
+	}()
+	NewEventualMissing(NewStatic(4), 9, 0)
+}
+
+func TestFuncAdapter(t *testing.T) {
+	g := Func{R: ring.New(4), F: func(e, t int) bool { return e == t%4 }}
+	if !g.Present(2, 2) || g.Present(1, 2) {
+		t.Fatal("Func semantics wrong")
+	}
+	if g.Present(-1, 0) || g.Present(0, -1) || g.Present(4, 0) {
+		t.Fatal("Func must reject out-of-range queries")
+	}
+}

@@ -1,0 +1,361 @@
+// Package fsync implements the fully synchronous execution model of
+// Section 2.3 of the paper: an execution is the infinite sequence
+// (G_0, γ_0), (G_1, γ_1), ... where γ_{t+1} results from all robots
+// synchronously and atomically performing one Look–Compute–Move cycle on
+// the snapshot G_t.
+//
+// The simulator supports both oblivious dynamics (pure functions of time,
+// package dynamics) and adaptive adversaries (functions of the current
+// robot positions, package adversary) through the Dynamics interface, and
+// records everything needed by the checkers: positions, global directions,
+// robot states, tower events, and the realized evolving graph.
+package fsync
+
+import (
+	"fmt"
+
+	"pef/internal/dyngraph"
+	"pef/internal/ring"
+	"pef/internal/robot"
+)
+
+// Snapshot is the externally observable part of a configuration at the
+// start of a round: where the robots are, which global direction each one
+// points to, and each robot's persistent state. Adaptive adversaries
+// receive it (the proofs' adversaries only use positions — they wait for
+// robots to move — but checkers use all of it).
+type Snapshot struct {
+	// T is the time instant of the configuration.
+	T int
+	// Positions[i] is the node of robot i.
+	Positions []int
+	// GlobalDirs[i] is the global direction robot i currently points to.
+	GlobalDirs []ring.Direction
+	// States[i] is robot i's persistent state encoding (robot.Core.State).
+	States []string
+	// MovedPrev[i] reports whether robot i moved during the previous round
+	// (as observed by the scheduler, not by the robot).
+	MovedPrev []bool
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	return Snapshot{
+		T:          s.T,
+		Positions:  append([]int(nil), s.Positions...),
+		GlobalDirs: append([]ring.Direction(nil), s.GlobalDirs...),
+		States:     append([]string(nil), s.States...),
+		MovedPrev:  append([]bool(nil), s.MovedPrev...),
+	}
+}
+
+// Towers returns the nodes occupied by more than one robot, with the robot
+// indices at each, in increasing node order.
+func (s Snapshot) Towers() []Tower {
+	byNode := map[int][]int{}
+	for i, p := range s.Positions {
+		byNode[p] = append(byNode[p], i)
+	}
+	var towers []Tower
+	for node, robots := range byNode {
+		if len(robots) > 1 {
+			towers = append(towers, Tower{Node: node, Robots: robots})
+		}
+	}
+	sortTowers(towers)
+	return towers
+}
+
+// Tower is a multiplicity point: more than one robot on one node
+// (Section 2.2).
+type Tower struct {
+	Node   int
+	Robots []int
+}
+
+func sortTowers(ts []Tower) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Node < ts[j-1].Node; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// Dynamics decides the presence set E_t of each round. Oblivious dynamics
+// ignore the snapshot; adaptive adversaries use it.
+type Dynamics interface {
+	// Ring returns the underlying ring.
+	Ring() ring.Ring
+	// EdgesAt returns E_t given the configuration at the start of round t.
+	// The returned set's capacity must equal the ring's edge count.
+	EdgesAt(t int, snap Snapshot) ring.EdgeSet
+}
+
+// Oblivious adapts a position-independent evolving graph to Dynamics.
+type Oblivious struct {
+	G dyngraph.EvolvingGraph
+}
+
+// Ring implements Dynamics.
+func (o Oblivious) Ring() ring.Ring { return o.G.Ring() }
+
+// EdgesAt implements Dynamics.
+func (o Oblivious) EdgesAt(t int, _ Snapshot) ring.EdgeSet {
+	return dyngraph.EdgesAt(o.G, t)
+}
+
+// Placement is the initial condition of one robot.
+type Placement struct {
+	// Node is the robot's initial node.
+	Node int
+	// Chirality maps the robot's local directions to global ones.
+	Chirality robot.Chirality
+	// Core optionally overrides the algorithm-provided initial state —
+	// used by the self-stabilization probe (E-X6) to start from arbitrary
+	// states. Nil means Algorithm.NewCore().
+	Core robot.Core
+}
+
+// Config assembles a simulation.
+type Config struct {
+	// Algorithm is the uniform algorithm every robot runs.
+	Algorithm robot.Algorithm
+	// Dynamics supplies E_t each round.
+	Dynamics Dynamics
+	// Placements give the initial configuration γ_0.
+	Placements []Placement
+	// AllowTowers permits initial configurations that are not towerless
+	// (the paper's well-initiated executions are towerless; only the
+	// self-stabilization probe sets this).
+	AllowTowers bool
+	// AllowFull permits k >= n configurations (rejected by default, as the
+	// paper requires k < n).
+	AllowFull bool
+	// Observers are notified after every round.
+	Observers []Observer
+	// RecordGraph, when true, captures the realized evolving graph into a
+	// dyngraph.Recorded retrievable via Simulator.RecordedGraph — needed
+	// when Dynamics is adaptive and the analyses want to replay it.
+	RecordGraph bool
+}
+
+// Observer receives one event per completed round.
+type Observer interface {
+	// ObserveRound is called after round t completed, with the presence
+	// set used, the configuration before the round (time t) and after it
+	// (time t+1).
+	ObserveRound(ev RoundEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev RoundEvent)
+
+// ObserveRound implements Observer.
+func (f ObserverFunc) ObserveRound(ev RoundEvent) { f(ev) }
+
+// RoundEvent describes one completed round.
+type RoundEvent struct {
+	// T is the round index: the transition from time T to time T+1.
+	T int
+	// Edges is the presence set E_T the round ran on.
+	Edges ring.EdgeSet
+	// Before is the configuration at time T (after its Look, i.e. the
+	// pre-round snapshot the adversary saw).
+	Before Snapshot
+	// After is the configuration at time T+1.
+	After Snapshot
+	// Moved[i] reports whether robot i crossed an edge this round.
+	Moved []bool
+	// Flipped[i] reports whether robot i changed its pointed global
+	// direction during this round's Compute.
+	Flipped []bool
+}
+
+type simRobot struct {
+	core  robot.Core
+	chir  robot.Chirality
+	node  int
+	moved bool // moved during the previous round, scheduler-observed
+}
+
+// Simulator executes rounds. Create with New, then call Step or Run.
+type Simulator struct {
+	r         ring.Ring
+	dyn       Dynamics
+	robots    []simRobot
+	t         int
+	observers []Observer
+	recorded  *dyngraph.Recorded
+}
+
+// New validates the configuration and builds a simulator positioned at
+// time 0.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("fsync: nil algorithm")
+	}
+	if cfg.Dynamics == nil {
+		return nil, fmt.Errorf("fsync: nil dynamics")
+	}
+	r := cfg.Dynamics.Ring()
+	k := len(cfg.Placements)
+	if k == 0 {
+		return nil, fmt.Errorf("fsync: no robots placed")
+	}
+	if !cfg.AllowFull && k >= r.Size() {
+		return nil, fmt.Errorf("fsync: %d robots on %d nodes violates k < n", k, r.Size())
+	}
+	seen := make(map[int]bool, k)
+	robots := make([]simRobot, k)
+	for i, p := range cfg.Placements {
+		if !r.ValidNode(p.Node) {
+			return nil, fmt.Errorf("fsync: robot %d placed on invalid node %d", i, p.Node)
+		}
+		if !p.Chirality.Valid() {
+			return nil, fmt.Errorf("fsync: robot %d has invalid chirality %d", i, p.Chirality)
+		}
+		if seen[p.Node] && !cfg.AllowTowers {
+			return nil, fmt.Errorf("fsync: initial configuration has a tower on node %d (not towerless)", p.Node)
+		}
+		seen[p.Node] = true
+		core := p.Core
+		if core == nil {
+			core = cfg.Algorithm.NewCore()
+		}
+		robots[i] = simRobot{core: core, chir: p.Chirality, node: p.Node}
+	}
+	s := &Simulator{
+		r:         r,
+		dyn:       cfg.Dynamics,
+		robots:    robots,
+		observers: append([]Observer(nil), cfg.Observers...),
+	}
+	if cfg.RecordGraph {
+		s.recorded = dyngraph.NewRecorded(r.Size())
+	}
+	return s, nil
+}
+
+// Ring returns the underlying ring.
+func (s *Simulator) Ring() ring.Ring { return s.r }
+
+// Now returns the current time instant.
+func (s *Simulator) Now() int { return s.t }
+
+// Robots returns the number of robots.
+func (s *Simulator) Robots() int { return len(s.robots) }
+
+// Snapshot returns the externally observable configuration at the current
+// instant.
+func (s *Simulator) Snapshot() Snapshot {
+	snap := Snapshot{
+		T:          s.t,
+		Positions:  make([]int, len(s.robots)),
+		GlobalDirs: make([]ring.Direction, len(s.robots)),
+		States:     make([]string, len(s.robots)),
+		MovedPrev:  make([]bool, len(s.robots)),
+	}
+	for i := range s.robots {
+		rb := &s.robots[i]
+		snap.Positions[i] = rb.node
+		snap.GlobalDirs[i] = globalDir(rb.chir, rb.core.Dir())
+		snap.States[i] = rb.core.State()
+		snap.MovedPrev[i] = rb.moved
+	}
+	return snap
+}
+
+// globalDir converts a robot's local pointed direction to the external
+// observer's global direction.
+func globalDir(c robot.Chirality, d robot.LocalDir) ring.Direction {
+	if c.GlobalSign(d) > 0 {
+		return ring.CW
+	}
+	return ring.CCW
+}
+
+// RecordedGraph returns the realized evolving graph when Config.RecordGraph
+// was set, and nil otherwise.
+func (s *Simulator) RecordedGraph() *dyngraph.Recorded { return s.recorded }
+
+// Step runs one synchronous round and returns its event.
+func (s *Simulator) Step() RoundEvent {
+	before := s.Snapshot()
+	edges := s.dyn.EdgesAt(s.t, before)
+	if edges.Size() != s.r.Edges() {
+		panic(fmt.Sprintf("fsync: dynamics produced edge set of size %d for ring with %d edges", edges.Size(), s.r.Edges()))
+	}
+	if s.recorded != nil {
+		s.recorded.Append(edges)
+	}
+
+	occupancy := make(map[int]int, len(s.robots))
+	for i := range s.robots {
+		occupancy[s.robots[i].node]++
+	}
+
+	// Look: gather each robot's view on E_t.
+	views := make([]robot.View, len(s.robots))
+	for i := range s.robots {
+		rb := &s.robots[i]
+		pointed := globalDir(rb.chir, rb.core.Dir())
+		views[i] = robot.View{
+			EdgeDir:     edges.Contains(s.r.EdgeTowards(rb.node, pointed)),
+			EdgeOpp:     edges.Contains(s.r.EdgeTowards(rb.node, pointed.Opposite())),
+			OtherRobots: occupancy[rb.node] > 1,
+		}
+	}
+
+	// Compute: all robots atomically.
+	flipped := make([]bool, len(s.robots))
+	for i := range s.robots {
+		rb := &s.robots[i]
+		oldGlobal := globalDir(rb.chir, rb.core.Dir())
+		rb.core.Compute(views[i])
+		if !rb.core.Dir().Valid() {
+			panic(fmt.Sprintf("fsync: robot %d computed invalid direction", i))
+		}
+		flipped[i] = globalDir(rb.chir, rb.core.Dir()) != oldGlobal
+	}
+
+	// Move: all robots atomically, on the same snapshot E_t.
+	moved := make([]bool, len(s.robots))
+	for i := range s.robots {
+		rb := &s.robots[i]
+		pointed := globalDir(rb.chir, rb.core.Dir())
+		if edges.Contains(s.r.EdgeTowards(rb.node, pointed)) {
+			rb.node = s.r.Next(rb.node, pointed)
+			moved[i] = true
+		}
+		rb.moved = moved[i]
+	}
+
+	s.t++
+	ev := RoundEvent{
+		T:       before.T,
+		Edges:   edges,
+		Before:  before,
+		After:   s.Snapshot(),
+		Moved:   moved,
+		Flipped: flipped,
+	}
+	for _, ob := range s.observers {
+		ob.ObserveRound(ev)
+	}
+	return ev
+}
+
+// Run executes rounds until the given horizon (exclusive). It returns the
+// final snapshot.
+func (s *Simulator) Run(horizon int) Snapshot {
+	for s.t < horizon {
+		s.Step()
+	}
+	return s.Snapshot()
+}
+
+// AddObserver attaches an observer mid-run (it starts receiving events from
+// the next round).
+func (s *Simulator) AddObserver(ob Observer) {
+	s.observers = append(s.observers, ob)
+}

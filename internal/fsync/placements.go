@@ -1,0 +1,53 @@
+package fsync
+
+import (
+	"fmt"
+
+	"pef/internal/prng"
+	"pef/internal/robot"
+)
+
+// EvenPlacements spreads k robots (all with RightIsCW chirality) as evenly
+// as possible around an n-node ring, starting at node 0. It panics if
+// k > n, which cannot form a towerless configuration.
+func EvenPlacements(n, k int) []Placement {
+	if k > n {
+		panic(fmt.Sprintf("fsync: cannot place %d robots towerless on %d nodes", k, n))
+	}
+	ps := make([]Placement, k)
+	for i := 0; i < k; i++ {
+		ps[i] = Placement{Node: i * n / k, Chirality: robot.RightIsCW}
+	}
+	return ps
+}
+
+// AdjacentPlacements puts k robots on consecutive nodes starting at start,
+// all with RightIsCW chirality.
+func AdjacentPlacements(n, k, start int) []Placement {
+	if k > n {
+		panic(fmt.Sprintf("fsync: cannot place %d robots towerless on %d nodes", k, n))
+	}
+	ps := make([]Placement, k)
+	for i := 0; i < k; i++ {
+		ps[i] = Placement{Node: (start + i) % n, Chirality: robot.RightIsCW}
+	}
+	return ps
+}
+
+// RandomPlacements places k robots on distinct pseudo-random nodes with
+// pseudo-random chirality, drawn from src.
+func RandomPlacements(n, k int, src *prng.Source) []Placement {
+	if k > n {
+		panic(fmt.Sprintf("fsync: cannot place %d robots towerless on %d nodes", k, n))
+	}
+	perm := src.Perm(n)
+	ps := make([]Placement, k)
+	for i := 0; i < k; i++ {
+		ch := robot.RightIsCW
+		if src.Bool(0.5) {
+			ch = robot.RightIsCCW
+		}
+		ps[i] = Placement{Node: perm[i], Chirality: ch}
+	}
+	return ps
+}

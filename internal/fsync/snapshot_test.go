@@ -1,0 +1,73 @@
+package fsync
+
+import (
+	"testing"
+
+	"pef/internal/ring"
+)
+
+func TestSnapshotTowersSortedAndComplete(t *testing.T) {
+	snap := Snapshot{
+		Positions: []int{5, 2, 5, 2, 2, 7},
+	}
+	towers := snap.Towers()
+	if len(towers) != 2 {
+		t.Fatalf("towers = %+v", towers)
+	}
+	if towers[0].Node != 2 || towers[1].Node != 5 {
+		t.Fatalf("towers not sorted by node: %+v", towers)
+	}
+	if len(towers[0].Robots) != 3 || len(towers[1].Robots) != 2 {
+		t.Fatalf("tower membership wrong: %+v", towers)
+	}
+}
+
+func TestSnapshotTowersNone(t *testing.T) {
+	snap := Snapshot{Positions: []int{0, 1, 2}}
+	if len(snap.Towers()) != 0 {
+		t.Fatal("towerless configuration reported towers")
+	}
+}
+
+func TestSnapshotCloneIsDeep(t *testing.T) {
+	snap := Snapshot{
+		T:          3,
+		Positions:  []int{1, 2},
+		GlobalDirs: []ring.Direction{ring.CW, ring.CCW},
+		States:     []string{"a", "b"},
+		MovedPrev:  []bool{true, false},
+	}
+	c := snap.Clone()
+	c.Positions[0] = 9
+	c.GlobalDirs[0] = ring.CCW
+	c.States[0] = "x"
+	c.MovedPrev[0] = false
+	if snap.Positions[0] != 1 || snap.GlobalDirs[0] != ring.CW ||
+		snap.States[0] != "a" || !snap.MovedPrev[0] {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSnapshotRecorderAccessors(t *testing.T) {
+	sr := &SnapshotRecorder{}
+	mk := func(tt, pos int, st string) Snapshot {
+		return Snapshot{T: tt, Positions: []int{pos}, States: []string{st},
+			GlobalDirs: []ring.Direction{ring.CW}, MovedPrev: []bool{false}}
+	}
+	sr.ObserveRound(RoundEvent{T: 0, Before: mk(0, 4, "s0"), After: mk(1, 3, "s1")})
+	sr.ObserveRound(RoundEvent{T: 1, Before: mk(1, 3, "s1"), After: mk(2, 2, "s2")})
+	if sr.Len() != 3 {
+		t.Fatalf("Len = %d", sr.Len())
+	}
+	traj := sr.Trajectory(0)
+	if traj[0] != 4 || traj[1] != 3 || traj[2] != 2 {
+		t.Fatalf("trajectory = %v", traj)
+	}
+	states := sr.States(0)
+	if states[0] != "s0" || states[2] != "s2" {
+		t.Fatalf("states = %v", states)
+	}
+	if sr.At(1).T != 1 {
+		t.Fatalf("At(1).T = %d", sr.At(1).T)
+	}
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"fmt"
+
+	"pef/internal/classes"
+	"pef/internal/core"
+	"pef/internal/dynamics"
+	"pef/internal/dyngraph"
+	"pef/internal/fsync"
+	"pef/internal/metrics"
+	"pef/internal/prng"
+	"pef/internal/spec"
+)
+
+func runX9(cfg Config) (Result, error) {
+	res := Result{ID: "E-X9", Title: "Dynamics taxonomy classification",
+		Artifact: "taxonomy of [6] (Section 2.1 context)", Pass: true}
+	res.Table = metrics.NewTable("generator", "always-conn", "T-interval", "period", "Δ", "recurrent", "conn-over-time", "hierarchy")
+
+	horizon := 360
+	if cfg.Quick {
+		horizon = 160
+	}
+	type gen struct {
+		name string
+		g    dyngraph.EvolvingGraph
+		// wantCOT is the paper-class membership the generator promises.
+		wantCOT bool
+	}
+	gens := []gen{
+		{"static", dyngraph.NewStatic(6), true},
+		{"bernoulli-0.6", dynamics.NewBernoulli(6, 0.6, cfg.Seed), true},
+		{"t-interval-3", dynamics.NewTInterval(6, 3, cfg.Seed), true},
+		{"roving-2", dynamics.NewRovingMissing(6, 2), true},
+		{"bounded-rec-4", dynamics.NewBoundedRecurrence(dynamics.NewBernoulli(6, 0.2, cfg.Seed), 4, cfg.Seed^1), true},
+		{"periodic", mustPeriodic(6), true},
+		{"eventual-missing", dyngraph.NewEventualMissing(
+			dynamics.NewBoundedRecurrence(dynamics.NewBernoulli(6, 0.7, cfg.Seed), 4, cfg.Seed^2), 0, 40), true},
+		{"split-ring", dyngraph.NewWithout(dyngraph.NewStatic(6),
+			dyngraph.Removal{Edge: 0, During: []dyngraph.Interval{{Start: 0, End: 1 << 30}}},
+			dyngraph.Removal{Edge: 3, During: []dyngraph.Interval{{Start: 0, End: 1 << 30}}}), false},
+	}
+	for _, g := range gens {
+		m := classes.Classify(g.g, horizon, 6, 24)
+		if !m.RespectsHierarchy() {
+			res.Pass = false
+			res.Notes = append(res.Notes, fmt.Sprintf("FAIL %s violates the class hierarchy: %+v", g.name, m))
+		}
+		if m.ConnectedOverTime != g.wantCOT {
+			res.Pass = false
+			res.Notes = append(res.Notes, fmt.Sprintf("FAIL %s: connected-over-time=%t, generator promises %t", g.name, m.ConnectedOverTime, g.wantCOT))
+		}
+		res.Table.AddRow(g.name, m.AlwaysConnected, m.TInterval, m.Period, m.RecurrenceBound,
+			m.Recurrent, m.ConnectedOverTime, verdict(m.RespectsHierarchy()))
+	}
+	res.Notes = append(res.Notes,
+		"Places the paper's connected-over-time class at the bottom of the Casteigts et al. hierarchy;",
+		"the split ring (two edges never appear) is the canonical non-member every checker must reject.")
+	return res, nil
+}
+
+// mustPeriodic builds the taxonomy demo timetable; patterns are valid by
+// construction.
+func mustPeriodic(n int) dyngraph.EvolvingGraph {
+	patterns := make([][]bool, n)
+	for e := range patterns {
+		p := make([]bool, 4)
+		p[e%4] = true
+		p[(e+2)%4] = true
+		patterns[e] = p
+	}
+	g, err := dynamics.NewPeriodic(n, patterns)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func runX10(cfg Config) (Result, error) {
+	res := Result{ID: "E-X10", Title: "Sentinel formation time (Lemma 3.7)",
+		Artifact: "Lemma 3.7", Pass: true}
+	res.Table = metrics.NewTable("n", "k", "edge missing from", "sentinels stable from", "lag", "verdict")
+
+	ns := []int{4, 8, 16, 32}
+	if cfg.Quick {
+		ns = []int{4, 8}
+	}
+	for _, n := range ns {
+		for _, k := range []int{3, 4} {
+			if k >= n {
+				continue
+			}
+			horizon := 400 * 4
+			if cfg.Quick {
+				horizon = 200 * 4
+			}
+			const from = 24
+			edge := n / 2
+			base := dynamics.NewBoundedRecurrence(dynamics.NewBernoulli(n, 0.7, cfg.Seed+uint64(n)), 4, cfg.Seed^3)
+			g := dyngraph.NewEventualMissing(base, edge, from)
+			watch := spec.NewSentinelWatch(g.Ring(), edge, from)
+			sim, err := fsync.New(fsync.Config{
+				Algorithm:  core.PEF3Plus{},
+				Dynamics:   fsync.Oblivious{G: g},
+				Placements: fsync.RandomPlacements(n, k, prng.NewSource(cfg.Seed+uint64(n*10+k))),
+				Observers:  []fsync.Observer{watch},
+			})
+			if err != nil {
+				return res, err
+			}
+			sim.Run(horizon)
+			rep := watch.Report()
+			// Stabilizing before the edge even vanishes is legal (the
+			// robots may coincidentally hold the posts early), so the only
+			// requirement is that a stable suffix exists.
+			ok := rep.Stabilized
+			if !ok {
+				res.Pass = false
+				res.Notes = append(res.Notes, fmt.Sprintf("FAIL n=%d k=%d: %s", n, k, rep))
+			}
+			lag := -1
+			if rep.Stabilized {
+				if lag = rep.StableFrom - from; lag < 0 {
+					lag = 0
+				}
+			}
+			res.Table.AddRow(n, k, from, rep.StableFrom, lag, verdict(ok))
+		}
+	}
+	res.Notes = append(res.Notes,
+		"Lemma 3.7: once an edge is missing forever, one robot ends up posted forever at each extremity, pointing at it.",
+		"'lag' is the stabilization delay after the edge disappears; it grows with n (robots must walk to the extremities).")
+	return res, nil
+}

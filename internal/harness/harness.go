@@ -1,0 +1,132 @@
+// Package harness defines and runs the experiment index of DESIGN.md: one
+// experiment per table and figure of the paper (E-T1.R1 … E-T1.R5, E-F1,
+// E-F2, E-F3) plus the extension experiments (E-X1 … E-X8). Each experiment
+// produces a pass/fail verdict against the paper's prediction and a report
+// table; cmd/pefexperiments renders the full index into EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pef/internal/metrics"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Seed drives all pseudo-randomness; equal seeds reproduce runs
+	// bit-for-bit.
+	Seed uint64
+	// Quick reduces horizons and sweep sizes (used by unit tests and
+	// benchmarks); the full experiment suite leaves it false.
+	Quick bool
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E-T1.R2").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Artifact names the paper artifact reproduced (e.g. "Table 1 row 2").
+	Artifact string
+	// Pass reports whether the observation matches the paper's prediction.
+	Pass bool
+	// Table holds the measured rows.
+	Table *metrics.Table
+	// Notes carries free-form findings.
+	Notes []string
+	// Diagram optionally holds a space-time excerpt (Figures 2 and 3).
+	Diagram string
+}
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID       string
+	Title    string
+	Artifact string
+	Run      func(cfg Config) (Result, error)
+}
+
+// All returns the full experiment index in report order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E-T1.R1", Title: "PEF_3+ explores with k>=3 robots on n>k rings", Artifact: "Table 1 row 1 (Theorem 3.1)", Run: runT1R1},
+		{ID: "E-T1.R2", Title: "Two robots are confined on rings of size >= 4", Artifact: "Table 1 row 2 (Theorem 4.1)", Run: runT1R2},
+		{ID: "E-T1.R3", Title: "PEF_2 explores the 3-node ring with 2 robots", Artifact: "Table 1 row 3 (Theorem 4.2)", Run: runT1R3},
+		{ID: "E-T1.R4", Title: "One robot is confined on rings of size >= 3", Artifact: "Table 1 row 4 (Theorem 5.1)", Run: runT1R4},
+		{ID: "E-T1.R5", Title: "PEF_1 explores the 2-node ring with 1 robot", Artifact: "Table 1 row 5 (Theorem 5.2)", Run: runT1R5},
+		{ID: "E-F1", Title: "Mirror gadget G' and Claims 1-4 of Lemma 4.1", Artifact: "Figure 1", Run: runF1},
+		{ID: "E-F2", Title: "Four-phase confinement schedule for two robots", Artifact: "Figure 2 (Theorem 4.1 construction)", Run: runF2},
+		{ID: "E-F3", Title: "Two-phase confinement schedule for one robot", Artifact: "Figure 3 (Theorem 5.1 construction)", Run: runF3},
+		{ID: "E-X1", Title: "Cover time scaling of PEF_3+ with ring size", Artifact: "extension", Run: runX1},
+		{ID: "E-X2", Title: "Revisit gap versus edge recurrence bound", Artifact: "extension", Run: runX2},
+		{ID: "E-X3", Title: "Rule ablations of PEF_3+", Artifact: "extension (Section 3.1 rationale)", Run: runX3},
+		{ID: "E-X4", Title: "SSYNC impossibility versus FSYNC control", Artifact: "related work [10] (Section 1)", Run: runX4},
+		{ID: "E-X5", Title: "PEF_3+ on connected-over-time chains", Artifact: "Section 1 remark", Run: runX5},
+		{ID: "E-X6", Title: "Self-stabilization probe from corrupted configurations", Artifact: "extension ([4] context)", Run: runX6},
+		{ID: "E-X7", Title: "Team size sweep", Artifact: "extension", Run: runX7},
+		{ID: "E-X8", Title: "Convergence framework prefix growth", Artifact: "framework [5]", Run: runX8},
+		{ID: "E-X9", Title: "Dynamics taxonomy classification", Artifact: "taxonomy of [6] (Section 2.1 context)", Run: runX9},
+		{ID: "E-X10", Title: "Sentinel formation time (Lemma 3.7)", Artifact: "Lemma 3.7", Run: runX10},
+		{ID: "E-X11", Title: "The three-robot threshold: containment vs legality", Artifact: "Table 1 synthesis", Run: runX11},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and streams a report to w. It returns
+// the results and the first execution error encountered (results of
+// successfully executed experiments are still returned).
+func RunAll(cfg Config, w io.Writer) ([]Result, error) {
+	var results []Result
+	for _, e := range All() {
+		res, err := e.Run(cfg)
+		if err != nil {
+			return results, fmt.Errorf("harness: experiment %s: %w", e.ID, err)
+		}
+		results = append(results, res)
+		if w != nil {
+			if err := WriteResult(w, res); err != nil {
+				return results, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// WriteResult renders one result in the report format.
+func WriteResult(w io.Writer, res Result) error {
+	status := "PASS"
+	if !res.Pass {
+		status = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "\n## %s — %s [%s]\n\nReproduces: %s\n\n", res.ID, res.Title, status, res.Artifact); err != nil {
+		return err
+	}
+	if res.Table != nil && res.Table.Rows() > 0 {
+		if _, err := io.WriteString(w, res.Table.String()); err != nil {
+			return err
+		}
+	}
+	for _, n := range res.Notes {
+		if _, err := fmt.Fprintf(w, "\n- %s", n); err != nil {
+			return err
+		}
+	}
+	if res.Diagram != "" {
+		if _, err := fmt.Fprintf(w, "\n\n```\n%s```\n", res.Diagram); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsPassQuick(t *testing.T) {
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s errored: %v", e.ID, err)
+			}
+			if !res.Pass {
+				t.Fatalf("%s failed: notes=%v\n%s", e.ID, res.Notes, res.Table.String())
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q does not match experiment %q", res.ID, e.ID)
+			}
+		})
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := Find("E-T1.R1"); !ok {
+		t.Fatal("E-T1.R1 not found")
+	}
+	if _, ok := Find("bogus"); ok {
+		t.Fatal("bogus experiment found")
+	}
+}
+
+func TestRunAllStreamsReport(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := RunAll(Config{Seed: 2, Quick: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("got %d results, want %d", len(results), len(All()))
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("report missing %s", e.ID)
+		}
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Error("report contains no PASS verdicts")
+	}
+}
+
+func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if _, err := RunAll(Config{Seed: 7, Quick: true}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("experiment suite is not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"fmt"
+
+	"pef/internal/adversary"
+	"pef/internal/core"
+	"pef/internal/dynamics"
+	"pef/internal/fsync"
+	"pef/internal/metrics"
+	"pef/internal/prng"
+	"pef/internal/robot"
+	"pef/internal/spec"
+)
+
+// explorationRun executes alg with k robots on an n-node ring under the
+// workload and returns the exploration report plus the tower invariant
+// checker (meaningful for PEF_3+ runs only).
+func explorationRun(alg robot.Algorithm, n, k int, build func(seed uint64) fsync.Dynamics, seed uint64, horizon int) (spec.ExplorationReport, *spec.TowerInvariants, error) {
+	vt := spec.NewVisitTracker(n)
+	ti := spec.NewTowerInvariants()
+	src := prng.NewSource(seed)
+	sim, err := fsync.New(fsync.Config{
+		Algorithm:  alg,
+		Dynamics:   build(seed),
+		Placements: fsync.RandomPlacements(n, k, src),
+		Observers:  []fsync.Observer{vt, ti},
+	})
+	if err != nil {
+		return spec.ExplorationReport{}, nil, err
+	}
+	sim.Run(horizon)
+	return vt.Report(), ti, nil
+}
+
+// obliviousBuild adapts a dynamics.Spec to the harness runner.
+func obliviousBuild(sp dynamics.Spec, n int) func(seed uint64) fsync.Dynamics {
+	return func(seed uint64) fsync.Dynamics {
+		return fsync.Oblivious{G: sp.Build(n, seed)}
+	}
+}
+
+// possibleVerdict is the finite-horizon acceptance criterion for the
+// possibility rows of Table 1: full coverage, at least two visits per node
+// (the ring keeps being re-explored), and a revisit gap no larger than half
+// the horizon (a gap-bound that stays fixed as horizons grow).
+func possibleVerdict(rep spec.ExplorationReport, horizon int) bool {
+	minVisits := rep.Horizon
+	for _, v := range rep.Visits {
+		if v < minVisits {
+			minVisits = v
+		}
+	}
+	return rep.Covered == rep.Nodes && rep.CoverTime >= 0 && minVisits >= 2 && rep.MaxGap <= horizon/2
+}
+
+// namedDynamics is one entry of a workload battery; order matters for
+// report determinism.
+type namedDynamics struct {
+	name  string
+	build func(seed uint64) fsync.Dynamics
+}
+
+// positiveWorkloads is the full workload battery for the possibility
+// experiments: the standard oblivious suite plus the adaptive
+// block-pointed stress adversary.
+func positiveWorkloads(n int) []namedDynamics {
+	var out []namedDynamics
+	for _, sp := range dynamics.StandardSuite() {
+		out = append(out, namedDynamics{name: sp.Name, build: obliviousBuild(sp, n)})
+	}
+	out = append(out, namedDynamics{
+		name: "block-pointed-b3",
+		build: func(_ uint64) fsync.Dynamics {
+			return adversary.NewBlockPointed(n, 3)
+		},
+	})
+	return out
+}
+
+func runT1R1(cfg Config) (Result, error) {
+	res := Result{ID: "E-T1.R1", Title: "PEF_3+ explores with k>=3 robots on n>k rings",
+		Artifact: "Table 1 row 1 (Theorem 3.1)", Pass: true}
+	res.Table = metrics.NewTable("k", "n", "workload", "cover", "maxGap", "towers", "verdict")
+
+	ks := []int{3, 4, 5}
+	ns := []int{4, 6, 8, 12}
+	if cfg.Quick {
+		ks = []int{3}
+		ns = []int{4, 8}
+	}
+	for _, k := range ks {
+		for _, n := range ns {
+			if n <= k {
+				continue
+			}
+			horizon := 200 * n
+			if cfg.Quick {
+				horizon = 60 * n
+			}
+			for _, wl := range positiveWorkloads(n) {
+				rep, ti, err := explorationRun(core.PEF3Plus{}, n, k, wl.build, cfg.Seed+uint64(n*100+k), horizon)
+				if err != nil {
+					return res, err
+				}
+				ok := possibleVerdict(rep, horizon) && ti.OK()
+				if !ok {
+					res.Pass = false
+					res.Notes = append(res.Notes, fmt.Sprintf("FAIL k=%d n=%d %s: %s, tower violations %v",
+						k, n, wl.name, rep, ti.Violations()))
+				}
+				res.Table.AddRow(k, n, wl.name, rep.CoverTime, rep.MaxGap, ti.TowerRounds(), verdict(ok))
+			}
+		}
+	}
+	res.Notes = append(res.Notes,
+		"Paper prediction: possible — every workload row must pass.",
+		"Tower invariants of Lemmas 3.3/3.4 checked on every round of every run.")
+	return res, nil
+}
+
+func runT1R3(cfg Config) (Result, error) {
+	res := Result{ID: "E-T1.R3", Title: "PEF_2 explores the 3-node ring with 2 robots",
+		Artifact: "Table 1 row 3 (Theorem 4.2)", Pass: true}
+	res.Table = metrics.NewTable("workload", "chiralities", "cover", "maxGap", "verdict")
+
+	const n, k = 3, 2
+	horizon := 2000
+	if cfg.Quick {
+		horizon = 400
+	}
+	for _, wl := range positiveWorkloads(n) {
+		for ci, chirs := range [][2]robot.Chirality{
+			{robot.RightIsCW, robot.RightIsCW},
+			{robot.RightIsCW, robot.RightIsCCW},
+		} {
+			vt := spec.NewVisitTracker(n)
+			sim, err := fsync.New(fsync.Config{
+				Algorithm: core.PEF2{},
+				Dynamics:  wl.build(cfg.Seed + uint64(ci)),
+				Placements: []fsync.Placement{
+					{Node: 0, Chirality: chirs[0]},
+					{Node: 1, Chirality: chirs[1]},
+				},
+				Observers: []fsync.Observer{vt},
+			})
+			if err != nil {
+				return res, err
+			}
+			sim.Run(horizon)
+			rep := vt.Report()
+			ok := possibleVerdict(rep, horizon)
+			if !ok {
+				res.Pass = false
+				res.Notes = append(res.Notes, fmt.Sprintf("FAIL %s chir=%v: %s", wl.name, chirs, rep))
+			}
+			res.Table.AddRow(wl.name, fmt.Sprintf("%v/%v", chirs[0], chirs[1]), rep.CoverTime, rep.MaxGap, verdict(ok))
+		}
+	}
+	res.Notes = append(res.Notes, "Paper prediction: possible on exactly n = 3.")
+	return res, nil
+}
+
+func runT1R5(cfg Config) (Result, error) {
+	res := Result{ID: "E-T1.R5", Title: "PEF_1 explores the 2-node ring with 1 robot",
+		Artifact: "Table 1 row 5 (Theorem 5.2)", Pass: true}
+	res.Table = metrics.NewTable("variant", "workload", "cover", "maxGap", "verdict")
+
+	const n, k = 2, 1
+	horizon := 1000
+	if cfg.Quick {
+		horizon = 200
+	}
+	// Two-node rings come in two flavours (Section 5.2): the multigraph
+	// with two parallel edges (our native n=2 ring) and the simple 2-node
+	// chain (one of the two edges permanently absent).
+	type variant struct {
+		name string
+		wrap func(sp dynamics.Spec) func(seed uint64) fsync.Dynamics
+	}
+	variants := []variant{
+		{"multigraph", func(sp dynamics.Spec) func(seed uint64) fsync.Dynamics {
+			return obliviousBuild(sp, n)
+		}},
+		{"chain", func(sp dynamics.Spec) func(seed uint64) fsync.Dynamics {
+			return func(seed uint64) fsync.Dynamics {
+				return fsync.Oblivious{G: dynamics.NewChain(sp.Build(n, seed), 1)}
+			}
+		}},
+	}
+	for _, v := range variants {
+		vname, wrap := v.name, v.wrap
+		for _, sp := range dynamics.StandardSuite() {
+			if vname == "chain" && sp.Name == "eventual-missing" {
+				// The chain variant already removes one of the two edges
+				// forever; removing the other too would disconnect the
+				// graph permanently, leaving the class of the paper.
+				continue
+			}
+			rep, _, err := explorationRun(core.PEF1{}, n, k, wrap(sp), cfg.Seed+7, horizon)
+			if err != nil {
+				return res, err
+			}
+			ok := possibleVerdict(rep, horizon)
+			if !ok {
+				res.Pass = false
+				res.Notes = append(res.Notes, fmt.Sprintf("FAIL %s %s: %s", vname, sp.Name, rep))
+			}
+			res.Table.AddRow(vname, sp.Name, rep.CoverTime, rep.MaxGap, verdict(ok))
+		}
+	}
+	res.Notes = append(res.Notes, "Paper prediction: possible on exactly n = 2 (both ring flavours).")
+	return res, nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+
+	"pef/internal/adversary"
+	"pef/internal/core"
+	"pef/internal/dyngraph"
+	"pef/internal/fsync"
+	"pef/internal/metrics"
+	"pef/internal/robot"
+	"pef/internal/spec"
+)
+
+// runX11 makes the computability threshold of Table 1 visible in a single
+// sweep: for k = 1 and k = 2 the paper's adversaries legally confine the
+// robots; for k >= 3 the naive arc-containment generalization must either
+// break legality (boundary edges eventually missing → not
+// connected-over-time) or let PEF_3+ escape and explore everything.
+func runX11(cfg Config) (Result, error) {
+	res := Result{ID: "E-X11", Title: "The three-robot threshold: containment vs legality",
+		Artifact: "Table 1 synthesis", Pass: true}
+	res.Table = metrics.NewTable("k", "adversary", "visited", "confined", "graph legal (COT)", "outcome")
+
+	const n = 8
+	horizon := 640
+	if cfg.Quick {
+		horizon = 240
+	}
+
+	checkLegal := func(g *dyngraph.Recorded) bool {
+		return dyngraph.VerifyConnectedOverTime(g, horizon, []int{0, horizon / 3}).OK
+	}
+
+	// k = 1: Theorem 5.1 adversary.
+	{
+		ct, _, sim, _, err := confineOne(core.PEF3Plus{}, robot.RightIsCW, n, horizon)
+		if err != nil {
+			return res, err
+		}
+		// A stalled victim freezes the schedule legally (one eventually
+		// missing edge keeps the eventual underlying graph connected, a
+		// chain); treat that case as legal even though the journey check
+		// needs a longer horizon to certify it.
+		legal := checkLegal(sim.RecordedGraph()) || hasOneEventuallyMissing(sim.RecordedGraph(), horizon)
+		confined := ct.ConfinedTo(2)
+		if !confined || !legal {
+			res.Pass = false
+		}
+		res.Table.AddRow(1, "Theorem 5.1 phases", ct.Distinct(), confined, legal, "confined AND legal")
+	}
+
+	// k = 2: Theorem 4.1 adversary. PEF_3+ with two robots stalls in a
+	// boxed phase, and the frozen schedule alone is not a legal
+	// connected-over-time witness (several edges stay missing). This is
+	// precisely the case the paper routes through the Lemma 4.1 mirror:
+	// the stalled prefix transfers to the 8-node gadget G′, which has a
+	// single eventually missing edge (legal), and both robot copies freeze
+	// there forever.
+	{
+		adv := adversary.NewTwoRobotConfinement(n, 0, 0, 1)
+		ct := spec.NewConfinementTracker()
+		rec := &fsync.SnapshotRecorder{}
+		sim, err := fsync.New(fsync.Config{
+			Algorithm: core.PEF3Plus{},
+			Dynamics:  adv,
+			Placements: []fsync.Placement{
+				{Node: 0, Chirality: robot.RightIsCW},
+				{Node: 1, Chirality: robot.RightIsCCW},
+			},
+			Observers:   []fsync.Observer{ct, rec},
+			RecordGraph: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		sim.Run(horizon)
+		confined := ct.ConfinedTo(3)
+		if info, stalled := adv.Stall(sim.Now(), horizon/4); stalled {
+			world, err := adversary.BuildMirror(adversary.MirrorInput{
+				Alg:         core.PEF3Plus{},
+				Chir:        chirOf(info.Robot),
+				G:           sim.RecordedGraph(),
+				Traj:        rec.Trajectory(info.Robot)[:info.Since+1],
+				States:      rec.States(info.Robot)[:info.Since+1],
+				StallTime:   info.Since,
+				MissingSide: info.MissingSide,
+			})
+			if err != nil {
+				return res, err
+			}
+			mrep, err := world.Verify(horizon / 4)
+			if err != nil {
+				return res, err
+			}
+			legal := mrep.OK() && mrep.StalledForever
+			if !confined || !legal {
+				res.Pass = false
+			}
+			res.Table.AddRow(2, "Theorem 4.1 phases → mirror G'", mrep.DistinctVisited, confined, legal,
+				"stall transferred to legal 8-node gadget")
+		} else {
+			legal := checkLegal(sim.RecordedGraph())
+			if !confined || !legal {
+				res.Pass = false
+			}
+			res.Table.AddRow(2, "Theorem 4.1 phases", ct.Distinct(), confined, legal, "confined AND legal")
+		}
+	}
+
+	// k = 3: both arc-containment policies must fail one way or the other.
+	for _, policy := range []struct {
+		name   string
+		budget int
+	}{
+		{"arc walls forever (budget 0)", 0},
+		{"arc walls with budget 6", 6},
+	} {
+		adv := adversary.NewArcContainment(n, 0, 4, policy.budget)
+		ct := spec.NewConfinementTracker()
+		sim, err := fsync.New(fsync.Config{
+			Algorithm:   core.PEF3Plus{},
+			Dynamics:    adv,
+			Placements:  fsync.AdjacentPlacements(n, 3, 0),
+			Observers:   []fsync.Observer{ct},
+			RecordGraph: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		sim.Run(horizon)
+		legal := checkLegal(sim.RecordedGraph())
+		confined := ct.ConfinedTo(4)
+		outcome := "escaped: exploration wins"
+		if confined && legal {
+			outcome = "CONTRADICTS Theorem 3.1"
+			res.Pass = false
+			res.Notes = append(res.Notes, fmt.Sprintf("FAIL: k=3 legally confined by %s", policy.name))
+		} else if confined {
+			outcome = "confined but ILLEGAL graph"
+		}
+		res.Table.AddRow(3, policy.name, ct.Distinct(), confined, legal, outcome)
+	}
+
+	res.Notes = append(res.Notes,
+		"With one or two robots the paper's adversaries confine inside the class of connected-over-time rings.",
+		"With three robots every containment attempt must choose: keep walls forever (illegal graph) or reopen them (PEF_3+ escapes).")
+	return res, nil
+}
+
+// hasOneEventuallyMissing reports whether exactly one edge is absent over
+// the whole trailing half of the horizon — the legal stalled-victim limit.
+func hasOneEventuallyMissing(g *dyngraph.Recorded, horizon int) bool {
+	return len(dyngraph.EventuallyMissingEdges(g, horizon, horizon/2)) == 1
+}
+
+// chirOf returns the chirality the E-X11 two-robot run assigns to each
+// robot index.
+func chirOf(idx int) robot.Chirality {
+	if idx == 0 {
+		return robot.RightIsCW
+	}
+	return robot.RightIsCCW
+}

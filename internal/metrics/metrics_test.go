@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]int{7})
+	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.P95 != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownSeries(t *testing.T) {
+	s := Summarize([]int{4, 1, 3, 2})
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if !strings.Contains(s.String(), "min=1") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []int{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	prop := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		in := make([]int, len(xs))
+		for i, x := range xs {
+			in[i] = int(x)
+		}
+		s := Summarize(in)
+		return s.Count == len(in) &&
+			float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max) &&
+			float64(s.Min) <= s.Median && s.Median <= float64(s.Max) &&
+			s.Median <= s.P95+1e-9 && s.P95 <= float64(s.Max)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta", 22)
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, underline, two rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "----") {
+		t.Fatalf("header malformed:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[3], "22") {
+		t.Fatalf("rows malformed:\n%s", out)
+	}
+}
+
+func TestTableWithoutHeaders(t *testing.T) {
+	tb := NewTable()
+	tb.AddRow("x")
+	out := tb.String()
+	if strings.Contains(out, "----") {
+		t.Fatalf("headerless table rendered separator:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+// Package prng provides the deterministic pseudo-randomness used by every
+// stochastic dynamics generator in this repository.
+//
+// Two properties matter for reproducing the paper's experiments:
+//
+//  1. Reproducibility: the entire experiment suite must be bit-for-bit
+//     reproducible from a single seed.
+//  2. Random access: evolving-graph generators are queried as pure functions
+//     Present(edge, t) in arbitrary order (analysis code jumps around in
+//     time), so the generator cannot carry sequential stream state.
+//
+// Both are satisfied by hashing (seed, stream, t) through SplitMix64, the
+// output function of Steele et al.'s splittable PRNG, which passes BigCrush
+// and is trivially random-access.
+package prng
+
+import "math/bits"
+
+// mix is the SplitMix64 finalizer: a bijective avalanche permutation of the
+// 64-bit input.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash3 hashes a (seed, stream, t) triple to a uniform 64-bit value. Streams
+// with distinct identifiers produce statistically independent sequences.
+func Hash3(seed, stream, t uint64) uint64 {
+	h := mix(seed)
+	h = mix(h ^ bits.RotateLeft64(stream, 31))
+	h = mix(h ^ bits.RotateLeft64(t, 17))
+	return h
+}
+
+// Float64At returns a uniform float64 in [0, 1) for the triple.
+func Float64At(seed, stream, t uint64) float64 {
+	// 53 high bits, the float64 mantissa width.
+	return float64(Hash3(seed, stream, t)>>11) / (1 << 53)
+}
+
+// UintnAt returns a uniform integer in [0, n) for the triple. It panics if
+// n <= 0.
+func UintnAt(seed, stream, t uint64, n int) int {
+	if n <= 0 {
+		panic("prng: UintnAt with non-positive n")
+	}
+	// Multiply-shift bounded reduction (Lemire); bias is negligible for the
+	// small n used by the experiments and irrelevant to correctness.
+	hi, _ := bits.Mul64(Hash3(seed, stream, t), uint64(n))
+	return int(hi)
+}
+
+// BoolAt returns true with probability p for the triple.
+func BoolAt(seed, stream, t uint64, p float64) bool {
+	return Float64At(seed, stream, t) < p
+}
+
+// Source is a sequential deterministic generator for call sites that do not
+// need random access (initial placements, shuffles). The zero value is a
+// valid generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a sequential source with the given seed.
+func NewSource(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next value of the SplitMix64 sequence.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	hi, _ := bits.Mul64(s.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split returns a new statistically independent source derived from s.
+func (s *Source) Split() *Source {
+	return &Source{state: mix(s.Uint64())}
+}

@@ -1,0 +1,162 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHash3Deterministic(t *testing.T) {
+	if Hash3(1, 2, 3) != Hash3(1, 2, 3) {
+		t.Fatal("Hash3 not deterministic")
+	}
+	if Hash3(1, 2, 3) == Hash3(1, 2, 4) || Hash3(1, 2, 3) == Hash3(1, 3, 3) || Hash3(1, 2, 3) == Hash3(2, 2, 3) {
+		t.Fatal("Hash3 collides on adjacent inputs (suspicious)")
+	}
+}
+
+func TestFloat64AtRange(t *testing.T) {
+	for i := uint64(0); i < 5000; i++ {
+		f := Float64At(42, 7, i)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64At out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64AtMean(t *testing.T) {
+	sum := 0.0
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		sum += Float64At(1, 1, i)
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestUintnAt(t *testing.T) {
+	counts := make([]int, 5)
+	for i := uint64(0); i < 5000; i++ {
+		v := UintnAt(9, 3, i, 5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("UintnAt out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("value %d count %d far from uniform", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UintnAt(0) accepted")
+		}
+	}()
+	UintnAt(1, 1, 1, 0)
+}
+
+func TestBoolAtExtremes(t *testing.T) {
+	for i := uint64(0); i < 200; i++ {
+		if BoolAt(3, 3, i, 0) {
+			t.Fatal("p=0 returned true")
+		}
+		if !BoolAt(3, 3, i, 1) {
+			t.Fatal("p=1 returned false")
+		}
+	}
+}
+
+func TestSourceSequence(t *testing.T) {
+	a, b := NewSource(5), NewSource(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewSource(6)
+	same := true
+	a2 := NewSource(5)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestSourceIntnAndFloat(t *testing.T) {
+	s := NewSource(11)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) accepted")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSource(3)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := NewSource(1)
+	child := s.Split()
+	// Parent and child should produce different streams.
+	same := true
+	for i := 0; i < 10; i++ {
+		if s.Uint64() != child.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("split stream identical to parent")
+	}
+}
+
+func TestHash3AvalancheProperty(t *testing.T) {
+	// Flipping one input bit should change the output (no fixed points on
+	// random probes).
+	prop := func(seed, stream, tt uint64, bit uint8) bool {
+		h1 := Hash3(seed, stream, tt)
+		h2 := Hash3(seed, stream, tt^(1<<(bit%64)))
+		return h1 != h2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolAtFrequencyProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		hits := 0
+		for i := uint64(0); i < 2000; i++ {
+			if BoolAt(seed, 1, i, 0.3) {
+				hits++
+			}
+		}
+		return hits > 450 && hits < 750
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package robot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry maps algorithm names to constructors so the command-line tools
+// can instantiate algorithms by flag value. Packages register themselves in
+// well-named Register calls from their init-free setup functions invoked by
+// the harness (we avoid init() per the style guide; see RegisterBuiltins in
+// package core and baseline).
+type registry struct {
+	mu   sync.RWMutex
+	algs map[string]func() Algorithm
+}
+
+var global = &registry{algs: make(map[string]func() Algorithm)}
+
+// Register installs a constructor under the algorithm's name. Registering
+// the same name twice is an error at the call site and panics: silently
+// replacing an algorithm would corrupt experiment provenance.
+func Register(name string, ctor func() Algorithm) {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if _, dup := global.algs[name]; dup {
+		panic(fmt.Sprintf("robot: duplicate algorithm registration %q", name))
+	}
+	global.algs[name] = ctor
+}
+
+// Registered reports whether name is present in the registry.
+func Registered(name string) bool {
+	global.mu.RLock()
+	defer global.mu.RUnlock()
+	_, ok := global.algs[name]
+	return ok
+}
+
+// New instantiates the named algorithm, or returns an error listing the
+// available names.
+func New(name string) (Algorithm, error) {
+	global.mu.RLock()
+	ctor, ok := global.algs[name]
+	global.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("robot: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names returns the registered algorithm names in sorted order.
+func Names() []string {
+	global.mu.RLock()
+	defer global.mu.RUnlock()
+	names := make([]string, 0, len(global.algs))
+	for n := range global.algs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

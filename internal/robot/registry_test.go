@@ -1,0 +1,68 @@
+package robot
+
+import (
+	"strings"
+	"testing"
+)
+
+func testAlg(name string) func() Algorithm {
+	return func() Algorithm {
+		return Func{AlgName: name, Rule: func(d LocalDir, _ View) LocalDir { return d }}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	const name = "registry-test-alg"
+	if Registered(name) {
+		t.Fatal("phantom registration")
+	}
+	Register(name, testAlg(name))
+	if !Registered(name) {
+		t.Fatal("registration not visible")
+	}
+	alg, err := New(name)
+	if err != nil || alg.Name() != name {
+		t.Fatalf("New: %v", err)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names does not list registration")
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("definitely-not-registered")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	const name = "registry-dup-alg"
+	Register(name, testAlg(name))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	Register(name, testAlg(name))
+}
+
+func TestNamesSorted(t *testing.T) {
+	Register("zzz-test", testAlg("zzz-test"))
+	Register("aaa-test", testAlg("aaa-test"))
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}

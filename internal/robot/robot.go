@@ -1,0 +1,165 @@
+// Package robot models the autonomous mobile robots of Section 2.2 of the
+// paper: uniform, anonymous, silent, endowed with persistent memory, local
+// weak multiplicity detection, and an individual stable chirality. Robots
+// operate in fully synchronous Look–Compute–Move cycles (package fsync runs
+// the cycles; this package defines what a robot is).
+package robot
+
+import "fmt"
+
+// LocalDir is the value of a robot's dir variable: one of the two port
+// labels (left, right) the robot assigns to its current node. The labels
+// are private to the robot; two robots need not agree (no common sense of
+// direction). Signed values make Opposite a negation, which keeps the
+// chirality composition below branch-free.
+type LocalDir int8
+
+const (
+	// Left is the initial value of every robot's dir variable (Section 2.2).
+	Left LocalDir = -1
+	// Right is the other port label.
+	Right LocalDir = 1
+)
+
+// Opposite returns the other local direction (the paper's overline-dir).
+func (d LocalDir) Opposite() LocalDir { return -d }
+
+// Valid reports whether d is Left or Right.
+func (d LocalDir) Valid() bool { return d == Left || d == Right }
+
+// String implements fmt.Stringer.
+func (d LocalDir) String() string {
+	switch d {
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	default:
+		return fmt.Sprintf("LocalDir(%d)", int8(d))
+	}
+}
+
+// Chirality fixes how a robot's local labels map onto the external
+// observer's global directions. It is stable over the ring and over time,
+// but two robots may have opposite chirality (Section 2.2).
+type Chirality int8
+
+const (
+	// RightIsCW maps local right to global clockwise.
+	RightIsCW Chirality = 1
+	// RightIsCCW maps local right to global counter-clockwise.
+	RightIsCCW Chirality = -1
+)
+
+// Valid reports whether c is one of the two chirality values.
+func (c Chirality) Valid() bool { return c == RightIsCW || c == RightIsCCW }
+
+// Opposite returns the mirror chirality.
+func (c Chirality) Opposite() Chirality { return -c }
+
+// String implements fmt.Stringer.
+func (c Chirality) String() string {
+	switch c {
+	case RightIsCW:
+		return "right=CW"
+	case RightIsCCW:
+		return "right=CCW"
+	default:
+		return fmt.Sprintf("Chirality(%d)", int8(c))
+	}
+}
+
+// GlobalSign returns the sign (+1 for CW, -1 for CCW) of the global
+// direction that local direction d denotes under chirality c. The caller
+// (the simulator) converts the sign to a ring.Direction; robots themselves
+// never see global directions.
+func (c Chirality) GlobalSign(d LocalDir) int {
+	return int(c) * int(d)
+}
+
+// View is the local environment gathered during the Look phase
+// (Section 2.3): the values of the three predicates a robot can evaluate.
+// It deliberately contains nothing else — no node identity, no global
+// direction, no count of co-located robots (weak multiplicity detection).
+type View struct {
+	// EdgeDir is ExistsEdge(dir): an edge is present at the port the robot
+	// currently points to.
+	EdgeDir bool
+	// EdgeOpp is ExistsEdge(opposite dir): an edge is present at the other
+	// port.
+	EdgeOpp bool
+	// OtherRobots is ExistsOtherRobotsOnCurrentNode(): at least one other
+	// robot shares the node.
+	OtherRobots bool
+}
+
+// ExistsEdge returns the predicate value for local direction d relative to
+// the robot's pointed direction: the robot asks about "dir" or "opposite of
+// dir", never about absolute ports.
+func (v View) ExistsEdge(pointed, d LocalDir) bool {
+	if d == pointed {
+		return v.EdgeDir
+	}
+	return v.EdgeOpp
+}
+
+// Core is one robot's deterministic state machine: the persistent variables
+// of Section 2.2 plus the Compute rule. Implementations must be
+// deterministic — the computability results quantify over deterministic
+// algorithms only.
+type Core interface {
+	// Dir returns the current value of the dir variable. The simulator
+	// reads it during Look (to evaluate ExistsEdge(dir)) and again after
+	// Compute (to perform Move).
+	Dir() LocalDir
+	// Compute executes the Compute phase on the view gathered during Look,
+	// possibly modifying the robot's persistent variables (including dir).
+	Compute(view View)
+	// State returns a stable, comparable encoding of all persistent
+	// variables. Two robots are "in the same state" (Lemma 4.1) iff their
+	// State strings are equal. Encodings must be purely local: they may
+	// mention left/right but never clockwise/counter-clockwise.
+	State() string
+}
+
+// Algorithm is a uniform deterministic algorithm: a factory producing one
+// fresh Core per robot, all identical (robots are uniform and anonymous).
+type Algorithm interface {
+	// Name identifies the algorithm in reports and registries.
+	Name() string
+	// NewCore returns a Core in the algorithm's initial state
+	// (dir = Left, all other variables at their initial values).
+	NewCore() Core
+}
+
+// Func adapts a stateless compute rule to the Algorithm interface, for
+// algorithms whose only persistent variable is dir itself.
+type Func struct {
+	// AlgName is the reported name.
+	AlgName string
+	// Rule maps (current dir, view) to the next dir.
+	Rule func(dir LocalDir, view View) LocalDir
+}
+
+// Name implements Algorithm.
+func (f Func) Name() string { return f.AlgName }
+
+// NewCore implements Algorithm.
+func (f Func) NewCore() Core { return &funcCore{dir: Left, rule: f.Rule} }
+
+type funcCore struct {
+	dir  LocalDir
+	rule func(dir LocalDir, view View) LocalDir
+}
+
+func (c *funcCore) Dir() LocalDir { return c.dir }
+
+func (c *funcCore) Compute(view View) {
+	next := c.rule(c.dir, view)
+	if !next.Valid() {
+		panic(fmt.Sprintf("robot: rule returned invalid direction %d", next))
+	}
+	c.dir = next
+}
+
+func (c *funcCore) State() string { return "dir=" + c.dir.String() }

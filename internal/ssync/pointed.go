@@ -1,0 +1,144 @@
+package ssync
+
+import (
+	"fmt"
+
+	"pef/internal/ring"
+	"pef/internal/robot"
+)
+
+// PointedEdgeAdversary is the constructive form of the Di Luna et al.
+// argument: "wake up each robot independently and remove the edge that the
+// robot wants to traverse at this time". Deciding which edge the robot
+// *wants* requires predicting its Compute phase, which depends on the very
+// edge set being chosen — a fixed-point problem. Because the algorithm is
+// deterministic and the adversary knows it, the adversary maintains a
+// shadow replay of every robot's view history and evaluates candidate edge
+// sets:
+//
+//  1. remove only the activated robot's clockwise adjacent edge,
+//  2. remove only its counter-clockwise adjacent edge,
+//  3. remove both (always a fixed point: the robot cannot move whichever
+//     way it points).
+//
+// A candidate is chosen iff the robot's post-Compute direction points at a
+// removed edge. Candidates 1 and 2 keep every snapshot connected; the
+// fallback 3 is needed against algorithms that chase whichever edge is
+// present (e.g. bounce-on-missing). Either way no robot ever moves while
+// every edge keeps reappearing — exploration fails on a legal
+// connected-over-time ring.
+//
+// The adversary supports one-at-a-time activation schedules (RoundRobin);
+// richer schedules would need joint fixed points, which [10] does not
+// require.
+type PointedEdgeAdversary struct {
+	r         ring.Ring
+	alg       robot.Algorithm
+	chirs     []robot.Chirality
+	histories [][]robot.View
+	// bothRemovals counts activations that needed the remove-both
+	// fallback, for reporting.
+	bothRemovals int
+	// singleRemovals counts activations handled by a single-edge removal.
+	singleRemovals int
+}
+
+// NewPointedEdgeAdversary builds the adversary for an n-node ring against
+// the given uniform algorithm with the robots' chiralities (indexed as in
+// the simulator's configuration).
+func NewPointedEdgeAdversary(n int, alg robot.Algorithm, chirs []robot.Chirality) *PointedEdgeAdversary {
+	return &PointedEdgeAdversary{
+		r:         ring.New(n),
+		alg:       alg,
+		chirs:     append([]robot.Chirality(nil), chirs...),
+		histories: make([][]robot.View, len(chirs)),
+	}
+}
+
+// Ring implements Dynamics.
+func (a *PointedEdgeAdversary) Ring() ring.Ring { return a.r }
+
+// SingleRemovals returns how many activations were blocked by removing a
+// single edge (connected snapshot).
+func (a *PointedEdgeAdversary) SingleRemovals() int { return a.singleRemovals }
+
+// BothRemovals returns how many activations needed both adjacent edges
+// removed.
+func (a *PointedEdgeAdversary) BothRemovals() int { return a.bothRemovals }
+
+// replay reconstructs robot i's current core by replaying its view history
+// into a fresh core — legitimate adversary power: the algorithm is
+// deterministic and public.
+func (a *PointedEdgeAdversary) replay(i int) robot.Core {
+	core := a.alg.NewCore()
+	for _, v := range a.histories[i] {
+		core.Compute(v)
+	}
+	return core
+}
+
+// globalDir maps robot i's local dir to a global direction.
+func (a *PointedEdgeAdversary) globalDir(i int, d robot.LocalDir) ring.Direction {
+	if a.chirs[i].GlobalSign(d) > 0 {
+		return ring.CW
+	}
+	return ring.CCW
+}
+
+// viewFor computes the view robot i would gather on edges, standing at pos
+// with the pre-Compute direction dir.
+func (a *PointedEdgeAdversary) viewFor(i, pos int, dir robot.LocalDir, edges ring.EdgeSet, occupied bool) robot.View {
+	pointed := a.globalDir(i, dir)
+	return robot.View{
+		EdgeDir:     edges.Contains(a.r.EdgeTowards(pos, pointed)),
+		EdgeOpp:     edges.Contains(a.r.EdgeTowards(pos, pointed.Opposite())),
+		OtherRobots: occupied,
+	}
+}
+
+// EdgesAt implements Dynamics. It panics on multi-robot activations, which
+// this adversary does not support.
+func (a *PointedEdgeAdversary) EdgesAt(t int, positions []int, active []int) ring.EdgeSet {
+	full := ring.FullEdgeSet(a.r.Edges())
+	if len(active) == 0 {
+		return full
+	}
+	if len(active) > 1 {
+		panic(fmt.Sprintf("ssync: pointed-edge adversary needs one-at-a-time activation, got %d at t=%d", len(active), t))
+	}
+	i := active[0]
+	pos := positions[i]
+	occupied := false
+	for j, p := range positions {
+		if j != i && p == pos {
+			occupied = true
+		}
+	}
+	cw := a.r.EdgeTowards(pos, ring.CW)
+	ccw := a.r.EdgeTowards(pos, ring.CCW)
+
+	candidates := []ring.EdgeSet{
+		full.Without(cw),
+		full.Without(ccw),
+		full.Without(cw, ccw),
+	}
+	for ci, cand := range candidates {
+		shadow := a.replay(i)
+		view := a.viewFor(i, pos, shadow.Dir(), cand, occupied)
+		shadow.Compute(view)
+		moveEdge := a.r.EdgeTowards(pos, a.globalDir(i, shadow.Dir()))
+		if cand.Contains(moveEdge) {
+			continue // the robot would still move: not a fixed point
+		}
+		// Commit: this is the view the simulator will deliver.
+		a.histories[i] = append(a.histories[i], view)
+		if ci < 2 {
+			a.singleRemovals++
+		} else {
+			a.bothRemovals++
+		}
+		return cand
+	}
+	// Unreachable: removing both adjacent edges always blocks the robot.
+	panic("ssync: no fixed point found, which is impossible with the remove-both candidate")
+}

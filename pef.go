@@ -1,0 +1,249 @@
+// Package pef is the public API of this repository: a faithful, executable
+// reproduction of
+//
+//	Marjorie Bournat, Swan Dubois, Franck Petit.
+//	"Computability of Perpetual Exploration in Highly Dynamic Rings."
+//	ICDCS 2017 (arXiv:1612.05767).
+//
+// The paper characterizes exactly how many fully synchronous, anonymous,
+// silent robots are necessary and sufficient to visit every node of a
+// connected-over-time ring infinitely often. This package exposes:
+//
+//   - the paper's three algorithms (PEF_3+, PEF_2, PEF_1),
+//   - the evolving-ring simulator and a library of dynamics,
+//   - the impossibility adversaries of Theorems 4.1 and 5.1 as runnable
+//     adaptive dynamics,
+//   - one-call exploration and confinement runs with verdict reports,
+//   - the experiment harness regenerating every table and figure of the
+//     paper (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	report, err := pef.Explore(pef.ExploreConfig{
+//		Nodes:     8,
+//		Robots:    3,
+//		Algorithm: pef.PEF3Plus(),
+//		Dynamics:  pef.EventualMissing(8, 0, 32, 42),
+//		Horizon:   1600,
+//		Seed:      42,
+//	})
+//	// report.Covered == 8, report.MaxGap bounded: perpetual exploration.
+package pef
+
+import (
+	"fmt"
+
+	"pef/internal/adversary"
+	"pef/internal/baseline"
+	"pef/internal/core"
+	"pef/internal/dynamics"
+	"pef/internal/dyngraph"
+	"pef/internal/fsync"
+	"pef/internal/prng"
+	"pef/internal/robot"
+	"pef/internal/spec"
+)
+
+// Algorithm is a uniform deterministic robot algorithm.
+type Algorithm = robot.Algorithm
+
+// Chirality fixes how a robot maps its local left/right onto the ring.
+type Chirality = robot.Chirality
+
+// Chirality values.
+const (
+	RightIsCW  = robot.RightIsCW
+	RightIsCCW = robot.RightIsCCW
+)
+
+// Dynamics decides which edges are present each round (possibly adaptively,
+// reacting to robot positions).
+type Dynamics = fsync.Dynamics
+
+// Placement is one robot's initial node and chirality.
+type Placement = fsync.Placement
+
+// ExplorationReport is the finite-horizon perpetual-exploration verdict.
+type ExplorationReport = spec.ExplorationReport
+
+// PEF3Plus returns Algorithm 1 of the paper: perpetual exploration with
+// k >= 3 robots on any connected-over-time ring of size n > k.
+func PEF3Plus() Algorithm { return core.PEF3Plus{} }
+
+// PEF2 returns the Section 4.2 algorithm: 2 robots on the 3-node ring.
+func PEF2() Algorithm { return core.PEF2{} }
+
+// PEF1 returns the Section 5.2 algorithm: 1 robot on the 2-node ring.
+func PEF1() Algorithm { return core.PEF1{} }
+
+// ExploreConfig parameterizes a one-call exploration run.
+type ExploreConfig struct {
+	// Nodes is the ring size n (>= 2).
+	Nodes int
+	// Robots is the team size k (< n). Ignored when Placements is set.
+	Robots int
+	// Algorithm is the uniform algorithm; required.
+	Algorithm Algorithm
+	// Dynamics supplies the evolving ring; required (see Static,
+	// Bernoulli, EventualMissing, TInterval, Chain, Roving, BlockPointed).
+	Dynamics Dynamics
+	// Horizon is the number of synchronous rounds to execute.
+	Horizon int
+	// Seed drives the pseudo-random initial placement.
+	Seed uint64
+	// Placements optionally fixes the initial configuration explicitly.
+	Placements []Placement
+}
+
+// Explore runs a fully synchronous execution and reports coverage, cover
+// time and the maximum revisit gap — the empirical signature of perpetual
+// exploration.
+func Explore(cfg ExploreConfig) (ExplorationReport, error) {
+	if cfg.Algorithm == nil || cfg.Dynamics == nil {
+		return ExplorationReport{}, fmt.Errorf("pef: ExploreConfig requires Algorithm and Dynamics")
+	}
+	n := cfg.Dynamics.Ring().Size()
+	if cfg.Nodes != 0 && cfg.Nodes != n {
+		return ExplorationReport{}, fmt.Errorf("pef: Nodes=%d disagrees with dynamics ring size %d", cfg.Nodes, n)
+	}
+	placements := cfg.Placements
+	if placements == nil {
+		if cfg.Robots <= 0 || cfg.Robots >= n {
+			return ExplorationReport{}, fmt.Errorf("pef: need 0 < Robots < Nodes, got k=%d n=%d", cfg.Robots, n)
+		}
+		placements = fsync.RandomPlacements(n, cfg.Robots, prng.NewSource(cfg.Seed))
+	}
+	vt := spec.NewVisitTracker(n)
+	sim, err := fsync.New(fsync.Config{
+		Algorithm:  cfg.Algorithm,
+		Dynamics:   cfg.Dynamics,
+		Placements: placements,
+		Observers:  []fsync.Observer{vt},
+	})
+	if err != nil {
+		return ExplorationReport{}, fmt.Errorf("pef: %w", err)
+	}
+	sim.Run(cfg.Horizon)
+	return vt.Report(), nil
+}
+
+// ConfinementReport is the outcome of an impossibility-adversary run.
+type ConfinementReport struct {
+	// DistinctVisited is how many distinct nodes the robots ever occupied.
+	DistinctVisited int
+	// VisitedNodes lists them.
+	VisitedNodes []int
+	// Limit is the confinement bound predicted by the paper (2 for one
+	// robot, 3 for two robots).
+	Limit int
+	// Confined reports DistinctVisited <= Limit.
+	Confined bool
+}
+
+// ConfineOneRobot runs the Theorem 5.1 adversary against alg on an n-node
+// ring (n >= 3) for the given horizon: the robot visits at most two nodes,
+// whatever alg does.
+func ConfineOneRobot(alg Algorithm, n, horizon int) (ConfinementReport, error) {
+	adv := adversary.NewOneRobotConfinement(n, 0, 0)
+	ct := spec.NewConfinementTracker()
+	sim, err := fsync.New(fsync.Config{
+		Algorithm:  alg,
+		Dynamics:   adv,
+		Placements: []Placement{{Node: 0, Chirality: RightIsCW}},
+		Observers:  []fsync.Observer{ct},
+	})
+	if err != nil {
+		return ConfinementReport{}, fmt.Errorf("pef: %w", err)
+	}
+	sim.Run(horizon)
+	return ConfinementReport{
+		DistinctVisited: ct.Distinct(),
+		VisitedNodes:    ct.VisitedNodes(),
+		Limit:           2,
+		Confined:        ct.ConfinedTo(2),
+	}, nil
+}
+
+// ConfineTwoRobots runs the Theorem 4.1 adversary against alg on an n-node
+// ring (n >= 4): the two robots visit at most three nodes.
+func ConfineTwoRobots(alg Algorithm, n, horizon int) (ConfinementReport, error) {
+	adv := adversary.NewTwoRobotConfinement(n, 0, 0, 1)
+	ct := spec.NewConfinementTracker()
+	sim, err := fsync.New(fsync.Config{
+		Algorithm: alg,
+		Dynamics:  adv,
+		Placements: []Placement{
+			{Node: 0, Chirality: RightIsCW},
+			{Node: 1, Chirality: RightIsCCW},
+		},
+		Observers: []fsync.Observer{ct},
+	})
+	if err != nil {
+		return ConfinementReport{}, fmt.Errorf("pef: %w", err)
+	}
+	sim.Run(horizon)
+	return ConfinementReport{
+		DistinctVisited: ct.Distinct(),
+		VisitedNodes:    ct.VisitedNodes(),
+		Limit:           3,
+		Confined:        ct.ConfinedTo(3),
+	}, nil
+}
+
+// Static returns the dynamics in which every edge is always present.
+func Static(n int) Dynamics {
+	return fsync.Oblivious{G: dyngraph.NewStatic(n)}
+}
+
+// Bernoulli returns the dynamics in which each edge is independently
+// present with probability p each round.
+func Bernoulli(n int, p float64, seed uint64) Dynamics {
+	return fsync.Oblivious{G: dynamics.NewBernoulli(n, p, seed)}
+}
+
+// EventualMissing returns a dynamics whose given edge disappears forever at
+// time from, the rest staying recurrent — the paper's canonical hard case.
+func EventualMissing(n, edge, from int, seed uint64) Dynamics {
+	base := dynamics.NewBoundedRecurrence(dynamics.NewBernoulli(n, 0.7, seed), 4, seed^0x51DE)
+	return fsync.Oblivious{G: dyngraph.NewEventualMissing(base, edge, from)}
+}
+
+// TInterval returns a T-interval-connected dynamics: connected snapshots,
+// missing edge stable per window of t rounds.
+func TInterval(n, t int, seed uint64) Dynamics {
+	return fsync.Oblivious{G: dynamics.NewTInterval(n, t, seed)}
+}
+
+// Chain returns a connected-over-time chain: the ring with edge cut missing
+// forever, the rest recurrent.
+func Chain(n, cut int, seed uint64) Dynamics {
+	base := dynamics.NewBoundedRecurrence(dynamics.NewBernoulli(n, 0.7, seed), 4, seed^0xC4A1)
+	return fsync.Oblivious{G: dynamics.NewChain(base, cut)}
+}
+
+// Roving returns the roving-missing-edge dynamics: exactly one edge absent
+// at each instant, rotating every period rounds.
+func Roving(n, period int) Dynamics {
+	return fsync.Oblivious{G: dynamics.NewRovingMissing(n, period)}
+}
+
+// BlockPointed returns the budgeted stress adversary: every edge a robot
+// points to is removed, but no edge stays absent more than budget
+// consecutive rounds.
+func BlockPointed(n, budget int) Dynamics {
+	return adversary.NewBlockPointed(n, budget)
+}
+
+// RegisterBuiltins installs the paper's algorithms and the baseline suite
+// into the name registry used by the command-line tools. Call once.
+func RegisterBuiltins() {
+	core.RegisterBuiltins()
+	baseline.RegisterBuiltins()
+}
+
+// Algorithms returns the registered algorithm names, and NewAlgorithm
+// instantiates one by name (after RegisterBuiltins).
+func Algorithms() []string { return robot.Names() }
+
+// NewAlgorithm instantiates a registered algorithm by name.
+func NewAlgorithm(name string) (Algorithm, error) { return robot.New(name) }

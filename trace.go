@@ -1,0 +1,105 @@
+package pef
+
+import (
+	"fmt"
+
+	"pef/internal/adversary"
+	"pef/internal/dynamics"
+	"pef/internal/fsync"
+	"pef/internal/prng"
+	"pef/internal/spec"
+	"pef/internal/trace"
+)
+
+// Periodic returns a periodically varying ring: edge e is present at t iff
+// patterns[e][t mod len(patterns[e])] — public-transport style timetables.
+// It returns an error if a pattern is empty or never true (such an edge
+// would break the connected-over-time assumption).
+func Periodic(n int, patterns [][]bool) (Dynamics, error) {
+	g, err := dynamics.NewPeriodic(n, patterns)
+	if err != nil {
+		return nil, fmt.Errorf("pef: %w", err)
+	}
+	return fsync.Oblivious{G: g}, nil
+}
+
+// ExploreWithDiagram is Explore plus a rendered space-time diagram of the
+// first rows instants (Figures 2/3 style: robots, towers, missing edges).
+func ExploreWithDiagram(cfg ExploreConfig, rows int) (ExplorationReport, string, error) {
+	if cfg.Algorithm == nil || cfg.Dynamics == nil {
+		return ExplorationReport{}, "", fmt.Errorf("pef: ExploreConfig requires Algorithm and Dynamics")
+	}
+	n := cfg.Dynamics.Ring().Size()
+	placements := cfg.Placements
+	if placements == nil {
+		if cfg.Robots <= 0 || cfg.Robots >= n {
+			return ExplorationReport{}, "", fmt.Errorf("pef: need 0 < Robots < Nodes, got k=%d n=%d", cfg.Robots, n)
+		}
+		placements = fsync.RandomPlacements(n, cfg.Robots, prng.NewSource(cfg.Seed))
+	}
+	vt := spec.NewVisitTracker(n)
+	rec := &fsync.SnapshotRecorder{}
+	sim, err := fsync.New(fsync.Config{
+		Algorithm:   cfg.Algorithm,
+		Dynamics:    cfg.Dynamics,
+		Placements:  placements,
+		Observers:   []fsync.Observer{vt, rec},
+		RecordGraph: true,
+	})
+	if err != nil {
+		return ExplorationReport{}, "", fmt.Errorf("pef: %w", err)
+	}
+	sim.Run(cfg.Horizon)
+	return vt.Report(), renderDiagram(sim, rec, n, rows), nil
+}
+
+// ConfineOneRobotWithDiagram is ConfineOneRobot plus the space-time diagram
+// of the Theorem 5.1 schedule (Figure 3).
+func ConfineOneRobotWithDiagram(alg Algorithm, n, horizon, rows int) (ConfinementReport, string, error) {
+	return confineWithDiagram(adversary.NewOneRobotConfinement(n, 0, 0),
+		[]Placement{{Node: 0, Chirality: RightIsCW}}, alg, n, horizon, rows, 2)
+}
+
+// ConfineTwoRobotsWithDiagram is ConfineTwoRobots plus the space-time
+// diagram of the Theorem 4.1 schedule (Figure 2).
+func ConfineTwoRobotsWithDiagram(alg Algorithm, n, horizon, rows int) (ConfinementReport, string, error) {
+	return confineWithDiagram(adversary.NewTwoRobotConfinement(n, 0, 0, 1),
+		[]Placement{
+			{Node: 0, Chirality: RightIsCW},
+			{Node: 1, Chirality: RightIsCCW},
+		}, alg, n, horizon, rows, 3)
+}
+
+func confineWithDiagram(dyn Dynamics, placements []Placement, alg Algorithm, n, horizon, rows, limit int) (ConfinementReport, string, error) {
+	ct := spec.NewConfinementTracker()
+	rec := &fsync.SnapshotRecorder{}
+	sim, err := fsync.New(fsync.Config{
+		Algorithm:   alg,
+		Dynamics:    dyn,
+		Placements:  placements,
+		Observers:   []fsync.Observer{ct, rec},
+		RecordGraph: true,
+	})
+	if err != nil {
+		return ConfinementReport{}, "", fmt.Errorf("pef: %w", err)
+	}
+	sim.Run(horizon)
+	rep := ConfinementReport{
+		DistinctVisited: ct.Distinct(),
+		VisitedNodes:    ct.VisitedNodes(),
+		Limit:           limit,
+		Confined:        ct.ConfinedTo(limit),
+	}
+	return rep, renderDiagram(sim, rec, n, rows), nil
+}
+
+func renderDiagram(sim *fsync.Simulator, rec *fsync.SnapshotRecorder, n, rows int) string {
+	if rows <= 0 {
+		return ""
+	}
+	snaps := make([]fsync.Snapshot, rec.Len())
+	for t := range snaps {
+		snaps[t] = rec.At(t)
+	}
+	return trace.Header(n) + trace.SpaceTimeString(sim.RecordedGraph(), snaps, 0, rows)
+}
