@@ -1,6 +1,7 @@
 package pef
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -63,6 +64,51 @@ func BenchmarkX11_ThreeRobotThreshold(b *testing.B)   { benchExperiment(b, "E-X1
 func BenchmarkFullReport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.RunAll(harness.Config{Seed: 1, Quick: true}, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchSweep measures the concurrent seed sweep of the full
+// experiment index: the same 4-seed batch fanned across growing worker
+// pools. The workers=1 case is the sequential baseline; the speedup curve
+// shows the hot path scaling with cores instead of experiments.
+func BenchmarkBatchSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				jobs, err := harness.RunBatch(context.Background(), harness.BatchConfig{
+					Seeds:   harness.Seeds(1, 4),
+					Workers: workers,
+					Quick:   true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, j := range jobs {
+					if j.Err != nil || !j.Result.Pass {
+						b.Fatalf("%s seed=%d failed: %v", j.ID, j.Seed, j.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchAggregate measures the pure aggregation cost (sweep matrix
+// plus report rendering) on a pre-computed batch, isolating it from
+// experiment execution.
+func BenchmarkBatchAggregate(b *testing.B) {
+	jobs, err := harness.RunBatch(context.Background(), harness.BatchConfig{
+		Seeds: harness.Seeds(1, 8),
+		Quick: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := harness.WriteBatchReport(io.Discard, jobs); err != nil {
 			b.Fatal(err)
 		}
 	}

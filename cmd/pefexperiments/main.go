@@ -1,66 +1,189 @@
 // Command pefexperiments runs the complete experiment index of DESIGN.md —
 // every table and figure of the paper plus the extension experiments — and
 // writes the markdown report that EXPERIMENTS.md records.
+//
+// Beyond the classic single-seed report, the command sweeps the index over
+// many adversary schedules via the concurrent batch engine:
+//
+//	pefexperiments                      # full index, seed 1, markdown report
+//	pefexperiments -only E-F2           # one experiment
+//	pefexperiments -seeds 8             # sweep seeds 1..8, aggregate report
+//	pefexperiments -seeds 32 -workers 8 # same sweep, 8 workers
+//	pefexperiments -seeds 8 -json       # machine-readable sweep output
+//
+// Flags:
+//
+//	-seed N     base seed (default 1)
+//	-seeds N    sweep N consecutive seeds starting at -seed (default 1)
+//	-workers M  worker pool size; <1 means GOMAXPROCS. Output is
+//	            byte-identical for any worker count.
+//	-json       emit the sweep as JSON (for BENCH_*.json trajectories)
+//	-only ID    restrict to a single experiment (combines with -seeds)
+//	-quick      reduced horizons and sweeps
+//
+// The process exits non-zero when any (experiment, seed) job errors or
+// fails to reproduce the paper's prediction, in every mode — single run,
+// -only, sweep, and -json — so CI can trust the exit code.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pef/internal/harness"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pefexperiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pefexperiments", flag.ContinueOnError)
 	var (
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		quick = flag.Bool("quick", false, "reduced horizons and sweeps")
-		only  = flag.String("only", "", "run a single experiment by ID (e.g. E-F2)")
+		seed    = fs.Uint64("seed", 1, "base experiment seed")
+		seeds   = fs.Int("seeds", 1, "number of consecutive seeds to sweep, starting at -seed")
+		workers = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
+		jsonOut = fs.Bool("json", false, "emit the sweep as JSON")
+		quick   = fs.Bool("quick", false, "reduced horizons and sweeps")
+		only    = fs.String("only", "", "run a single experiment by ID (e.g. E-F2)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
 
-	cfg := harness.Config{Seed: *seed, Quick: *quick}
-	fmt.Printf("# Experiment report (seed=%d, quick=%t)\n", *seed, *quick)
-
+	exps := harness.All()
 	if *only != "" {
 		exp, ok := harness.Find(*only)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", *only)
 		}
-		res, err := exp.Run(cfg)
+		exps = []harness.Experiment{exp}
+	}
+	sweep := harness.Seeds(*seed, *seeds)
+
+	cfg := harness.BatchConfig{
+		Experiments: exps,
+		Seeds:       sweep,
+		Workers:     *workers,
+		Quick:       *quick,
+	}
+
+	var jobs []harness.JobResult
+	var err error
+	switch {
+	case *jsonOut:
+		jobs, err = harness.RunBatch(context.Background(), cfg)
 		if err != nil {
 			return err
 		}
-		if err := harness.WriteResult(os.Stdout, res); err != nil {
+		if eerr := writeJSON(stdout, sweep, *quick, jobs); eerr != nil {
+			return eerr
+		}
+	case *seeds == 1:
+		// Classic report: stream every result section in canonical order.
+		fmt.Fprintf(stdout, "# Experiment report (seed=%d, quick=%t)\n", *seed, *quick)
+		var werr error
+		cfg.OnResult = func(j harness.JobResult) {
+			if werr != nil || j.Err != nil {
+				return
+			}
+			werr = harness.WriteResult(stdout, j.Result)
+		}
+		jobs, err = harness.RunBatch(context.Background(), cfg)
+		if err != nil {
 			return err
 		}
-		if !res.Pass {
-			return fmt.Errorf("experiment %s failed", *only)
+		if werr != nil {
+			return werr
 		}
-		return nil
+		fmt.Fprintf(stdout, "\n---\n%d/%d experiments reproduce the paper's predictions.\n", harness.Passes(jobs), len(jobs))
+	default:
+		fmt.Fprintf(stdout, "# Experiment sweep (seeds=%d..%d, quick=%t)\n", sweep[0], sweep[len(sweep)-1], *quick)
+		jobs, err = harness.RunBatch(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		if werr := harness.WriteBatchReport(stdout, jobs); werr != nil {
+			return werr
+		}
 	}
 
-	results, err := harness.RunAll(cfg, os.Stdout)
-	if err != nil {
-		return err
-	}
-	failures := 0
-	for _, r := range results {
-		if !r.Pass {
-			failures++
+	return failure(jobs)
+}
+
+// failure returns a non-nil error when any job errored or failed, so the
+// process exit code reflects the sweep verdict.
+func failure(jobs []harness.JobResult) error {
+	for _, j := range jobs {
+		if j.Err != nil {
+			return j.Err
 		}
 	}
-	fmt.Printf("\n---\n%d/%d experiments reproduce the paper's predictions.\n",
-		len(results)-failures, len(results))
-	if failures > 0 {
-		return fmt.Errorf("%d experiment(s) failed", failures)
+	if failed := len(jobs) - harness.Passes(jobs); failed > 0 {
+		return fmt.Errorf("%d of %d experiment job(s) failed", failed, len(jobs))
 	}
 	return nil
+}
+
+// jsonJob is the machine-readable form of one (experiment, seed) outcome.
+type jsonJob struct {
+	ID       string   `json:"id"`
+	Seed     uint64   `json:"seed"`
+	Title    string   `json:"title"`
+	Artifact string   `json:"artifact"`
+	Pass     bool     `json:"pass"`
+	Error    string   `json:"error,omitempty"`
+	Notes    []string `json:"notes,omitempty"`
+	Table    string   `json:"table,omitempty"`
+}
+
+// jsonReport is the top-level -json document. It deliberately omits the
+// worker count so reports are byte-identical for any -workers value.
+type jsonReport struct {
+	Seeds    []uint64  `json:"seeds"`
+	Quick    bool      `json:"quick"`
+	Jobs     []jsonJob `json:"jobs"`
+	Passes   int       `json:"passes"`
+	Total    int       `json:"total"`
+	PassRate float64   `json:"passRate"`
+}
+
+func writeJSON(w io.Writer, seeds []uint64, quick bool, jobs []harness.JobResult) error {
+	rep := jsonReport{Seeds: seeds, Quick: quick, Total: len(jobs)}
+	for _, j := range jobs {
+		jj := jsonJob{
+			ID:       j.ID,
+			Seed:     j.Seed,
+			Title:    j.Result.Title,
+			Artifact: j.Result.Artifact,
+			Pass:     j.Passed(),
+			Notes:    j.Result.Notes,
+		}
+		if j.Err != nil {
+			jj.Error = j.Err.Error()
+		}
+		if j.Result.Table != nil && j.Result.Table.Rows() > 0 {
+			jj.Table = j.Result.Table.String()
+		}
+		if jj.Pass {
+			rep.Passes++
+		}
+		rep.Jobs = append(rep.Jobs, jj)
+	}
+	if rep.Total > 0 {
+		rep.PassRate = float64(rep.Passes) / float64(rep.Total)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

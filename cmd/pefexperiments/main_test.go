@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"pef/internal/harness"
+)
+
+// TestSweepByteIdenticalAcrossWorkers is the acceptance check from the
+// batch-runner issue: -seeds 8 with -workers 1 and -workers 8 must emit
+// byte-identical reports.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	render := func(extra ...string) string {
+		var buf bytes.Buffer
+		args := append([]string{"-quick", "-seeds", "8"}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return buf.String()
+	}
+	seq := render("-workers", "1")
+	par := render("-workers", "8")
+	if seq != par {
+		t.Fatalf("sweep reports differ across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+	for _, want := range []string{"Experiment sweep", "Aggregate", "Per-seed spread", "overall", "100.0%"} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("sweep report missing %q", want)
+		}
+	}
+}
+
+func TestJSONByteIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers string) string {
+		var buf bytes.Buffer
+		args := []string{"-quick", "-seeds", "4", "-json", "-only", "E-T1.R5", "-workers", workers}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return buf.String()
+	}
+	seq := render("1")
+	if par := render("8"); seq != par {
+		t.Fatal("JSON reports differ across worker counts")
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(seq), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Total != 4 || rep.Passes != 4 || rep.PassRate != 1 {
+		t.Fatalf("unexpected JSON summary: total=%d passes=%d rate=%v", rep.Total, rep.Passes, rep.PassRate)
+	}
+	if len(rep.Jobs) != 4 || rep.Jobs[0].ID != "E-T1.R5" {
+		t.Fatalf("unexpected jobs: %+v", rep.Jobs)
+	}
+}
+
+func TestClassicSingleSeedReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Experiment report (seed=1, quick=true)") {
+		t.Fatalf("missing classic header:\n%.200s", out)
+	}
+	for _, e := range harness.All() {
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("report missing %s", e.ID)
+		}
+	}
+	if !strings.Contains(out, "experiments reproduce the paper's predictions.") {
+		t.Error("report missing summary line")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-only", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown -only must error")
+	}
+	if err := run([]string{"-seeds", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("-seeds 0 must error")
+	}
+}
+
+// TestFailureDrivesExitCode checks the CI contract: any failing or
+// erroring job in a batch makes run()'s caller exit non-zero.
+func TestFailureDrivesExitCode(t *testing.T) {
+	pass := harness.JobResult{ID: "A", Seed: 1, Result: harness.Result{Pass: true}}
+	fail := harness.JobResult{ID: "B", Seed: 1, Result: harness.Result{Pass: false}}
+	errJob := harness.JobResult{ID: "C", Seed: 1, Err: errors.New("boom")}
+
+	if err := failure([]harness.JobResult{pass, pass}); err != nil {
+		t.Errorf("all-pass batch must not error, got %v", err)
+	}
+	if err := failure([]harness.JobResult{pass, fail}); err == nil {
+		t.Error("failing job must produce an error")
+	}
+	if err := failure([]harness.JobResult{pass, errJob}); !errors.Is(err, errJob.Err) {
+		t.Errorf("erroring job must surface its error, got %v", err)
+	}
+}

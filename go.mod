@@ -1,0 +1,3 @@
+module pef
+
+go 1.24

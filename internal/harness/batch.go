@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"pef/internal/metrics"
+)
+
+// BatchConfig parameterizes a concurrent (experiment × seed) sweep.
+type BatchConfig struct {
+	// Experiments selects the experiments to run; nil means All().
+	Experiments []Experiment
+	// Seeds lists the seeds swept per experiment; empty means {1}.
+	Seeds []uint64
+	// Workers bounds the worker pool; values < 1 mean GOMAXPROCS.
+	Workers int
+	// Quick is forwarded to every job's Config.
+	Quick bool
+	// OnResult, when non-nil, is invoked from the collecting goroutine
+	// exactly once per job in canonical (experiment, seed) order, as soon
+	// as every earlier job has finished. Emission order is therefore
+	// independent of the worker count.
+	OnResult func(JobResult)
+}
+
+// JobResult is the outcome of one (experiment, seed) job.
+type JobResult struct {
+	// ID and Seed identify the job.
+	ID   string
+	Seed uint64
+	// Result is the experiment outcome. Jobs that errored or were
+	// cancelled carry a failed Result with the experiment's identity
+	// filled in.
+	Result Result
+	// Err reports an execution error, a recovered panic, or — for jobs
+	// that never ran because the context was cancelled — the context's
+	// error.
+	Err error
+}
+
+// Passed reports the job's verdict: it executed without error and its
+// result reproduces the paper's prediction. This single predicate drives
+// the exit code, report footers, and JSON pass rate alike.
+func (j JobResult) Passed() bool { return j.Err == nil && j.Result.Pass }
+
+// Passes counts the passing jobs in a batch.
+func Passes(jobs []JobResult) int {
+	n := 0
+	for _, j := range jobs {
+		if j.Passed() {
+			n++
+		}
+	}
+	return n
+}
+
+// newJobResult is the canonical identity-filled (not yet executed) job
+// outcome; the prefill loop and runJob share it so cancelled and executed
+// jobs render with the same identity.
+func newJobResult(e Experiment, seed uint64) JobResult {
+	return JobResult{
+		ID:   e.ID,
+		Seed: seed,
+		Result: Result{
+			ID:       e.ID,
+			Title:    e.Title,
+			Artifact: e.Artifact,
+		},
+	}
+}
+
+// Seeds returns the n consecutive seeds starting at base, the canonical
+// sweep for "-seeds n" style invocations.
+func Seeds(base uint64, n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}
+
+// RunBatch fans the (experiment × seed) job matrix out across a bounded
+// worker pool and returns one JobResult per job in canonical order:
+// experiments in index order, seeds in the order given, seeds varying
+// fastest. Results are collected unordered but the returned slice — and the
+// OnResult callback sequence — is identical for any worker count, so batch
+// output is bit-for-bit reproducible.
+//
+// A job that panics is recovered into a failed JobResult; execution errors
+// likewise mark only their own job. RunBatch itself fails only when ctx is
+// cancelled, in which case in-flight jobs finish, unstarted jobs are marked
+// with ctx's error, and the partially-filled slice is returned alongside it.
+func RunBatch(ctx context.Context, cfg BatchConfig) ([]JobResult, error) {
+	exps := cfg.Experiments
+	if exps == nil {
+		exps = All()
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := len(exps) * len(seeds)
+	if workers > total {
+		workers = total
+	}
+
+	results := make([]JobResult, total)
+	for i := range results {
+		results[i] = newJobResult(exps[i/len(seeds)], seeds[i%len(seeds)])
+	}
+	if total == 0 {
+		return results, ctx.Err()
+	}
+
+	type indexed struct {
+		i int
+		r JobResult
+	}
+	jobs := make(chan int)
+	out := make(chan indexed)
+
+	// Feeder: stops handing out work as soon as ctx is cancelled.
+	go func() {
+		defer close(jobs)
+		for i := 0; i < total; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// The send is unconditional: the collector drains out
+				// until it closes, so even on cancellation a finished
+				// job's result is never dropped — "in-flight jobs
+				// finish" and their results land in the slice.
+				out <- indexed{i, runJob(exps[i/len(seeds)], seeds[i%len(seeds)], cfg.Quick)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Collector: a reorder buffer over the unordered completions. next is
+	// the canonical cursor; OnResult fires the moment the prefix is solid.
+	done := make([]bool, total)
+	next := 0
+	for ir := range out {
+		results[ir.i] = ir.r
+		done[ir.i] = true
+		for next < total && done[next] {
+			if cfg.OnResult != nil {
+				cfg.OnResult(results[next])
+			}
+			next++
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !done[i] {
+				results[i].Err = fmt.Errorf("harness: experiment %s (seed %d): %w", results[i].ID, results[i].Seed, err)
+				results[i].Result.Notes = append(results[i].Result.Notes, "job cancelled before running")
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runJob executes one experiment under one seed, converting panics into
+// failed results so a single diverging experiment cannot take down a sweep.
+func runJob(e Experiment, seed uint64, quick bool) (jr JobResult) {
+	jr = newJobResult(e, seed)
+	defer func() {
+		if r := recover(); r != nil {
+			jr.Err = fmt.Errorf("harness: experiment %s (seed %d): panic: %v", e.ID, seed, r)
+			jr.Result.Pass = false
+			jr.Result.Notes = append(jr.Result.Notes, fmt.Sprintf("recovered panic: %v", r))
+		}
+	}()
+	res, err := e.Run(Config{Seed: seed, Quick: quick})
+	if err != nil {
+		jr.Err = fmt.Errorf("harness: experiment %s (seed %d): %w", e.ID, seed, err)
+		return jr
+	}
+	jr.Result = res
+	return jr
+}
+
+// SweepAggregate folds a batch's results into the metrics sweep matrix used
+// by the aggregate report: per-experiment pass rates across seeds plus the
+// per-seed min/max/gap summary.
+func SweepAggregate(jobs []JobResult) *metrics.Sweep {
+	sw := metrics.NewSweep()
+	for _, j := range jobs {
+		sw.Record(j.ID, j.Seed, j.Passed())
+	}
+	return sw
+}
+
+// WriteBatchReport renders a sweep report: a header, the aggregate
+// pass-rate table, and a full per-result section for every failing job.
+// The report depends only on the job slice, never on scheduling, so equal
+// batches render byte-identical reports for any worker count.
+func WriteBatchReport(w io.Writer, jobs []JobResult) error {
+	sw := SweepAggregate(jobs)
+	if _, err := fmt.Fprintf(w, "\n## Aggregate (%d experiments × %d seeds)\n\n", sw.IDs(), sw.SeedCount()); err != nil {
+		return err
+	}
+	if err := sw.Table().Render(w); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n## Per-seed spread\n\n"); err != nil {
+		return err
+	}
+	if err := sw.SeedTable().Render(w); err != nil {
+		return err
+	}
+	failures := 0
+	for _, j := range jobs {
+		if j.Passed() {
+			continue
+		}
+		failures++
+		if _, err := fmt.Fprintf(w, "\n### Failure: %s seed=%d\n", j.ID, j.Seed); err != nil {
+			return err
+		}
+		if j.Err != nil {
+			if _, err := fmt.Fprintf(w, "\nerror: %v\n", j.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := WriteResult(w, j.Result); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n---\n%d/%d jobs reproduce the paper's predictions.\n", len(jobs)-failures, len(jobs))
+	return err
+}

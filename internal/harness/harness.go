@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -83,24 +84,44 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment and streams a report to w. It returns
-// the results and the first execution error encountered (results of
-// successfully executed experiments are still returned).
+// RunAll executes every experiment under cfg.Seed and streams a report to
+// w. It returns the results preceding the first execution error, and that
+// error (nil when every experiment executed). RunAll is a single-seed view
+// over the batch engine: it runs RunBatch with one worker and emits in
+// canonical order, so its output is unchanged from the sequential era.
 func RunAll(cfg Config, w io.Writer) ([]Result, error) {
 	var results []Result
-	for _, e := range All() {
-		res, err := e.Run(cfg)
-		if err != nil {
-			return results, fmt.Errorf("harness: experiment %s: %w", e.ID, err)
-		}
-		results = append(results, res)
-		if w != nil {
-			if err := WriteResult(w, res); err != nil {
-				return results, err
+	var firstErr error
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunBatch(ctx, BatchConfig{
+		Seeds:   []uint64{cfg.Seed},
+		Workers: 1,
+		Quick:   cfg.Quick,
+		OnResult: func(j JobResult) {
+			if firstErr != nil {
+				return
 			}
-		}
+			if j.Err != nil {
+				// Stop the batch at the first error, like the
+				// sequential loop this replaced.
+				firstErr = j.Err
+				cancel()
+				return
+			}
+			results = append(results, j.Result)
+			if w != nil {
+				if werr := WriteResult(w, j.Result); werr != nil {
+					firstErr = werr
+					cancel()
+				}
+			}
+		},
+	})
+	if firstErr != nil {
+		return results, firstErr
 	}
-	return results, nil
+	return results, err
 }
 
 // WriteResult renders one result in the report format.

@@ -58,6 +58,10 @@ func percentile(sorted []int, p float64) float64 {
 	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
 }
 
+// Gap returns the max-min spread of the series — for seed sweeps, how far
+// the hardest adversary schedule sits from the easiest.
+func (s Summary) Gap() int { return s.Max - s.Min }
+
 // String implements fmt.Stringer.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d min=%d max=%d mean=%.1f median=%.1f p95=%.1f",

@@ -1,0 +1,136 @@
+package metrics
+
+import "fmt"
+
+// Sweep aggregates a pass/fail matrix over (experiment × seed) jobs into
+// the summary rows of a seed-sweep report: pass rates per experiment and
+// the per-seed pass-count spread (min/max/gap) that reveals whether some
+// adversary schedules are harder than others. Both axes keep
+// first-recorded order so rendering is deterministic for a fixed record
+// sequence.
+type Sweep struct {
+	ids     []string
+	seeds   []uint64
+	idIdx   map[string]int
+	seedIdx map[uint64]int
+	pass    map[[2]int]bool
+}
+
+// NewSweep creates an empty sweep matrix.
+func NewSweep() *Sweep {
+	return &Sweep{
+		idIdx:   make(map[string]int),
+		seedIdx: make(map[uint64]int),
+		pass:    make(map[[2]int]bool),
+	}
+}
+
+// Record stores one verdict. Recording the same (id, seed) twice keeps the
+// last verdict.
+func (s *Sweep) Record(id string, seed uint64, pass bool) {
+	i, ok := s.idIdx[id]
+	if !ok {
+		i = len(s.ids)
+		s.idIdx[id] = i
+		s.ids = append(s.ids, id)
+	}
+	j, ok := s.seedIdx[seed]
+	if !ok {
+		j = len(s.seeds)
+		s.seedIdx[seed] = j
+		s.seeds = append(s.seeds, seed)
+	}
+	s.pass[[2]int{i, j}] = pass
+}
+
+// IDs returns the number of distinct experiment IDs recorded.
+func (s *Sweep) IDs() int { return len(s.ids) }
+
+// SeedCount returns the number of distinct seeds recorded.
+func (s *Sweep) SeedCount() int { return len(s.seeds) }
+
+// Passes returns the total number of passing verdicts.
+func (s *Sweep) Passes() int {
+	n := 0
+	for _, p := range s.pass {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// PassRate returns the overall fraction of passing verdicts, in [0, 1].
+// An empty sweep has pass rate 0.
+func (s *Sweep) PassRate() float64 {
+	if len(s.pass) == 0 {
+		return 0
+	}
+	return float64(s.Passes()) / float64(len(s.pass))
+}
+
+// passesFor counts passing seeds for the id at index i.
+func (s *Sweep) passesFor(i int) int {
+	n := 0
+	for j := range s.seeds {
+		if s.pass[[2]int{i, j}] {
+			n++
+		}
+	}
+	return n
+}
+
+// passesAt counts passing experiments for the seed at index j.
+func (s *Sweep) passesAt(j int) int {
+	n := 0
+	for i := range s.ids {
+		if s.pass[[2]int{i, j}] {
+			n++
+		}
+	}
+	return n
+}
+
+// SeedPasses returns the per-seed pass counts in recorded seed order — the
+// series whose Summarize().Gap() measures schedule-to-schedule spread.
+func (s *Sweep) SeedPasses() []int {
+	out := make([]int, len(s.seeds))
+	for j := range s.seeds {
+		out[j] = s.passesAt(j)
+	}
+	return out
+}
+
+// Table renders the per-experiment aggregate: one row per ID with its pass
+// count and pass rate across seeds, closed by an overall row.
+func (s *Sweep) Table() *Table {
+	t := NewTable("experiment", "seeds", "passes", "pass-rate")
+	for i, id := range s.ids {
+		p := s.passesFor(i)
+		t.AddRow(id, len(s.seeds), p, rate(p, len(s.seeds)))
+	}
+	t.AddRow("overall", len(s.pass), s.Passes(), rate(s.Passes(), len(s.pass)))
+	return t
+}
+
+// SeedTable renders the per-seed view: one row per seed with the number of
+// experiments that pass under it, closed by a min/max/gap summary row over
+// the per-seed pass counts.
+func (s *Sweep) SeedTable() *Table {
+	t := NewTable("seed", "experiments", "passes", "pass-rate")
+	for j, seed := range s.seeds {
+		p := s.passesAt(j)
+		t.AddRow(seed, len(s.ids), p, rate(p, len(s.ids)))
+	}
+	sum := Summarize(s.SeedPasses())
+	t.AddRow("spread", "", fmt.Sprintf("min=%d max=%d", sum.Min, sum.Max), fmt.Sprintf("gap=%d", sum.Gap()))
+	return t
+}
+
+// rate formats a pass ratio as a percentage.
+func rate(passes, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(passes)/float64(total))
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSweepPassRates(t *testing.T) {
+	sw := NewSweep()
+	for seed := uint64(1); seed <= 4; seed++ {
+		sw.Record("E-A", seed, true)
+		sw.Record("E-B", seed, seed != 3)
+	}
+	if sw.IDs() != 2 || sw.SeedCount() != 4 {
+		t.Fatalf("shape %dx%d, want 2x4", sw.IDs(), sw.SeedCount())
+	}
+	if sw.Passes() != 7 {
+		t.Fatalf("passes = %d, want 7", sw.Passes())
+	}
+	if got, want := sw.PassRate(), 7.0/8.0; got != want {
+		t.Fatalf("pass rate = %v, want %v", got, want)
+	}
+	if got := sw.SeedPasses(); !reflect.DeepEqual(got, []int{2, 2, 1, 2}) {
+		t.Fatalf("seed passes = %v", got)
+	}
+}
+
+func TestSweepRecordOverwrites(t *testing.T) {
+	sw := NewSweep()
+	sw.Record("E-A", 1, false)
+	sw.Record("E-A", 1, true)
+	if sw.Passes() != 1 || sw.IDs() != 1 || sw.SeedCount() != 1 {
+		t.Fatalf("re-record must keep the last verdict in a 1x1 matrix; passes=%d", sw.Passes())
+	}
+}
+
+func TestSweepTables(t *testing.T) {
+	sw := NewSweep()
+	sw.Record("E-A", 1, true)
+	sw.Record("E-A", 2, false)
+	sw.Record("E-B", 1, true)
+	sw.Record("E-B", 2, true)
+
+	agg := sw.Table().String()
+	for _, want := range []string{"E-A", "50.0%", "E-B", "100.0%", "overall", "75.0%"} {
+		if !strings.Contains(agg, want) {
+			t.Errorf("aggregate table missing %q:\n%s", want, agg)
+		}
+	}
+	seedTab := sw.SeedTable().String()
+	for _, want := range []string{"spread", "min=1 max=2", "gap=1"} {
+		if !strings.Contains(seedTab, want) {
+			t.Errorf("seed table missing %q:\n%s", want, seedTab)
+		}
+	}
+}
+
+func TestSweepDeterministicRendering(t *testing.T) {
+	build := func() string {
+		sw := NewSweep()
+		for _, id := range []string{"E-C", "E-A", "E-B"} {
+			for seed := uint64(3); seed >= 1; seed-- {
+				sw.Record(id, seed, (seed+uint64(len(id)))%2 == 0)
+			}
+		}
+		return sw.Table().String() + sw.SeedTable().String()
+	}
+	if build() != build() {
+		t.Fatal("sweep rendering is not deterministic")
+	}
+	// First-recorded order is preserved on both axes.
+	out := build()
+	if strings.Index(out, "E-C") > strings.Index(out, "E-A") {
+		t.Fatal("ID axis not in first-recorded order")
+	}
+}
+
+func TestSummaryGap(t *testing.T) {
+	if got := Summarize([]int{4, 9, 6}).Gap(); got != 5 {
+		t.Fatalf("gap = %d, want 5", got)
+	}
+	if got := (Summary{}).Gap(); got != 0 {
+		t.Fatalf("zero summary gap = %d, want 0", got)
+	}
+	if got := Summarize(nil).Gap(); got != 0 {
+		t.Fatalf("empty series gap = %d, want 0", got)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	sw := NewSweep()
+	if sw.PassRate() != 0 {
+		t.Fatal("empty sweep must have pass rate 0")
+	}
+	if got := sw.Table().String(); !strings.Contains(got, "n/a") {
+		t.Fatalf("empty aggregate table should mark rate n/a:\n%s", got)
+	}
+}
