@@ -19,6 +19,8 @@
 //	            byte-identical for any worker count.
 //	-json       emit the sweep as JSON (for BENCH_*.json trajectories)
 //	-only ID    restrict to a single experiment (combines with -seeds)
+//	-shard      split heavy ring-size sweeps into per-ring-size jobs, so
+//	            a single experiment no longer serializes on one worker
 //	-quick      reduced horizons and sweeps
 //
 // The process exits non-zero when any (experiment, seed) job errors or
@@ -35,6 +37,7 @@ import (
 	"os"
 
 	"pef/internal/harness"
+	"pef/internal/metrics"
 )
 
 func main() {
@@ -52,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		workers = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
 		jsonOut = fs.Bool("json", false, "emit the sweep as JSON")
 		quick   = fs.Bool("quick", false, "reduced horizons and sweeps")
+		shard   = fs.Bool("shard", false, "split heavy ring-size sweeps into per-ring-size jobs")
 		only    = fs.String("only", "", "run a single experiment by ID (e.g. E-F2)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +80,7 @@ func run(args []string, stdout io.Writer) error {
 		Seeds:       sweep,
 		Workers:     *workers,
 		Quick:       *quick,
+		Shard:       *shard,
 	}
 
 	var jobs []harness.JobResult
@@ -150,16 +155,18 @@ type jsonJob struct {
 // jsonReport is the top-level -json document. It deliberately omits the
 // worker count so reports are byte-identical for any -workers value.
 type jsonReport struct {
-	Seeds    []uint64  `json:"seeds"`
-	Quick    bool      `json:"quick"`
-	Jobs     []jsonJob `json:"jobs"`
-	Passes   int       `json:"passes"`
-	Total    int       `json:"total"`
-	PassRate float64   `json:"passRate"`
+	Seeds    []uint64            `json:"seeds"`
+	Quick    bool                `json:"quick"`
+	Jobs     []jsonJob           `json:"jobs"`
+	Passes   int                 `json:"passes"`
+	Total    int                 `json:"total"`
+	PassRate float64             `json:"passRate"`
+	Scalars  []metrics.ScalarRow `json:"scalars,omitempty"`
 }
 
 func writeJSON(w io.Writer, seeds []uint64, quick bool, jobs []harness.JobResult) error {
 	rep := jsonReport{Seeds: seeds, Quick: quick, Total: len(jobs)}
+	rep.Scalars = harness.SweepAggregate(jobs).ScalarRows()
 	for _, j := range jobs {
 		jj := jsonJob{
 			ID:       j.ID,

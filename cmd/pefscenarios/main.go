@@ -1,0 +1,97 @@
+// Command pefscenarios sweeps generated scenarios through the property
+// oracle: a seeded generator samples the scenario space (ring size, team,
+// algorithm, placement, dynamics family and parameters, horizon), each
+// sample runs through the simulator, and the oracle checks the paper's
+// predicates — exploration where Table 1 says possible, confinement where
+// its adversaries apply. Campaigns shard across the batch worker pool and
+// their output is byte-identical for any worker count.
+//
+//	pefscenarios                               # 100 uniform scenarios, seed 1
+//	pefscenarios -count 1000 -seeds 4          # 4000 scenarios, seeds 1..4
+//	pefscenarios -family boundary -json        # machine-readable sweep output
+//	pefscenarios -list                         # list the generator families
+//
+// Flags:
+//
+//	-count N    scenarios generated per seed (default 100)
+//	-seed N     base generator seed (default 1)
+//	-seeds N    sweep N consecutive generator seeds starting at -seed
+//	-workers M  worker pool size; <1 means GOMAXPROCS. Output is
+//	            byte-identical for any worker count.
+//	-family F   generator family: uniform, boundary, markov, adversarial
+//	-maxring N  largest sampled ring size (default 16)
+//	-json       emit the versioned campaign document (for BENCH_*.json)
+//	-list       list the generator families and exit
+//
+// The process exits non-zero when any scenario violates its predicate or
+// errors, so CI can trust the exit code.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pef/internal/harness"
+	"pef/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pefscenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pefscenarios", flag.ContinueOnError)
+	var (
+		count   = fs.Int("count", 100, "scenarios generated per seed")
+		seed    = fs.Uint64("seed", 1, "base generator seed")
+		seeds   = fs.Int("seeds", 1, "number of consecutive generator seeds, starting at -seed")
+		workers = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
+		family  = fs.String("family", "uniform", "generator family (see -list)")
+		maxRing = fs.Int("maxring", 16, "largest sampled ring size")
+		jsonOut = fs.Bool("json", false, "emit the versioned campaign document")
+		list    = fs.Bool("list", false, "list the generator families and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, g := range scenario.Generators() {
+			fmt.Fprintf(stdout, "%-12s %s\n", g.Name, g.Description)
+		}
+		return nil
+	}
+	if *count < 1 {
+		return fmt.Errorf("-count must be >= 1, got %d", *count)
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
+
+	c, err := scenario.RunCampaign(context.Background(), scenario.CampaignConfig{
+		Generator: *family,
+		Gen:       scenario.GenConfig{MaxRing: *maxRing},
+		Count:     *count,
+		Seeds:     harness.Seeds(*seed, *seeds),
+		Workers:   *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := c.WriteJSON(stdout); err != nil {
+			return err
+		}
+	} else if err := c.WriteReport(stdout); err != nil {
+		return err
+	}
+	if violations := len(c.Violations()); violations > 0 {
+		return fmt.Errorf("%d of %d scenario(s) violate the paper's predicates", violations, len(c.Verdicts))
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunByteIdenticalAcrossWorkers checks the CLI-level determinism
+// guarantee for both output modes.
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, mode := range []string{"report", "json"} {
+		render := func(workers string) string {
+			args := []string{"-family", "boundary", "-count", "40", "-seeds", "2", "-workers", workers}
+			if mode == "json" {
+				args = append(args, "-json")
+			}
+			var buf bytes.Buffer
+			if err := run(args, &buf); err != nil {
+				t.Fatalf("%s workers=%s: %v", mode, workers, err)
+			}
+			return buf.String()
+		}
+		if render("1") != render("8") {
+			t.Fatalf("%s output differs between -workers 1 and -workers 8", mode)
+		}
+	}
+}
+
+func TestRunJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-family", "adversarial", "-count", "25", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 1`, `"generator": "adversarial"`, `"total": 25`, `"families"`, `"scalars"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"uniform", "boundary", "markov", "adversarial"} {
+		if !strings.Contains(buf.String(), g) {
+			t.Errorf("-list output missing generator %s", g)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-count", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("want error for -count 0")
+	}
+	if err := run([]string{"-seeds", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("want error for -seeds 0")
+	}
+	if err := run([]string{"-family", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("want error for unknown -family")
+	}
+	if err := run([]string{"-maxring", "3"}, &bytes.Buffer{}); err == nil {
+		t.Error("want error for -maxring below 4")
+	}
+}

@@ -1,0 +1,139 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"pef/internal/dyngraph"
+)
+
+// FamilyParams carries the parameters of every oblivious dynamics family in
+// one flat bag, so samplers can draw a point in the full parameter space
+// and hand it to Family without a per-family constructor switch. Fields a
+// family does not use are ignored.
+type FamilyParams struct {
+	// P is the per-edge presence probability (bernoulli, bounded) or the
+	// keep probability of the recurrent background (chain,
+	// eventual-missing).
+	P float64
+	// Up and Down are the Markov per-edge transition probabilities
+	// (absent→present, present→absent).
+	Up, Down float64
+	// Delta is the forced recurrence bound (bounded, chain,
+	// eventual-missing).
+	Delta int
+	// Edge is the edge that eventually disappears (eventual-missing).
+	Edge int
+	// From is the instant the edge disappears at (eventual-missing).
+	From int
+	// Period is the rotation period (roving).
+	Period int
+	// T is the interval-connectivity window (t-interval).
+	T int
+	// Cut is the permanently missing edge (chain).
+	Cut int
+	// Horizon bounds the materialized trace (markov).
+	Horizon int
+}
+
+// BoundedBernoulliSpec returns the Bernoulli(p) workload forced recurrent
+// with bound delta — the sparse-but-fair stochastic family E-X2 sweeps.
+func BoundedBernoulliSpec(p float64, delta int) Spec {
+	return Spec{
+		Name: "bounded-" + ftoa(p) + "-d" + itoa(delta),
+		Build: func(n int, seed uint64) dyngraph.EvolvingGraph {
+			base := dyngraph.EvolvingGraph(NewBernoulli(n, p, seed))
+			return NewBoundedRecurrence(base, delta, seed^0xB0B0)
+		},
+	}
+}
+
+// FamilyNames lists the parameterized oblivious families Family accepts, in
+// canonical order.
+func FamilyNames() []string {
+	return []string{
+		"static",
+		"bernoulli",
+		"bounded",
+		"t-interval",
+		"roving",
+		"chain",
+		"eventual-missing",
+		"markov",
+	}
+}
+
+// Family instantiates the named workload family at the given parameter
+// point, validating ranges up front so generated (rather than hand-written)
+// parameters fail with an error instead of a deep panic:
+//
+//	static            — every edge always present (no parameters)
+//	bernoulli         — P
+//	bounded           — P, Delta
+//	t-interval        — T
+//	roving            — Period
+//	chain             — Cut, P, Delta
+//	eventual-missing  — Edge, From, P, Delta
+//	markov            — Up, Down, Horizon
+func Family(name string, fp FamilyParams) (Spec, error) {
+	switch name {
+	case "static":
+		return StaticSpec(), nil
+	case "bernoulli":
+		if fp.P < 0 || fp.P > 1 {
+			return Spec{}, fmt.Errorf("dynamics: bernoulli P=%v outside [0,1]", fp.P)
+		}
+		return BernoulliSpec(fp.P), nil
+	case "bounded":
+		if fp.P < 0 || fp.P > 1 {
+			return Spec{}, fmt.Errorf("dynamics: bounded P=%v outside [0,1]", fp.P)
+		}
+		if fp.Delta < 1 {
+			return Spec{}, fmt.Errorf("dynamics: bounded Delta=%d below 1", fp.Delta)
+		}
+		return BoundedBernoulliSpec(fp.P, fp.Delta), nil
+	case "t-interval":
+		if fp.T < 1 {
+			return Spec{}, fmt.Errorf("dynamics: t-interval T=%d below 1", fp.T)
+		}
+		return TIntervalSpec(fp.T), nil
+	case "roving":
+		if fp.Period < 1 {
+			return Spec{}, fmt.Errorf("dynamics: roving Period=%d below 1", fp.Period)
+		}
+		return RovingSpec(fp.Period), nil
+	case "chain":
+		if fp.Cut < 0 {
+			return Spec{}, fmt.Errorf("dynamics: chain Cut=%d negative", fp.Cut)
+		}
+		if fp.P < 0 || fp.P > 1 {
+			return Spec{}, fmt.Errorf("dynamics: chain P=%v outside [0,1]", fp.P)
+		}
+		if fp.Delta < 1 {
+			return Spec{}, fmt.Errorf("dynamics: chain Delta=%d below 1", fp.Delta)
+		}
+		return ChainSpec(fp.Cut, fp.P, fp.Delta), nil
+	case "eventual-missing":
+		if fp.Edge < 0 {
+			return Spec{}, fmt.Errorf("dynamics: eventual-missing Edge=%d negative", fp.Edge)
+		}
+		if fp.From < 0 {
+			return Spec{}, fmt.Errorf("dynamics: eventual-missing From=%d negative", fp.From)
+		}
+		if fp.P < 0 || fp.P > 1 {
+			return Spec{}, fmt.Errorf("dynamics: eventual-missing P=%v outside [0,1]", fp.P)
+		}
+		if fp.Delta < 1 {
+			return Spec{}, fmt.Errorf("dynamics: eventual-missing Delta=%d below 1", fp.Delta)
+		}
+		return EventualMissingSpec(fp.Edge, fp.From, fp.P, fp.Delta), nil
+	case "markov":
+		if fp.Up <= 0 || fp.Up > 1 || fp.Down < 0 || fp.Down > 1 {
+			return Spec{}, fmt.Errorf("dynamics: markov Up=%v Down=%v outside (0,1]/[0,1]", fp.Up, fp.Down)
+		}
+		if fp.Horizon < 0 {
+			return Spec{}, fmt.Errorf("dynamics: markov Horizon=%d negative", fp.Horizon)
+		}
+		return MarkovSpec(fp.Up, fp.Down, fp.Horizon), nil
+	}
+	return Spec{}, fmt.Errorf("dynamics: unknown family %q (known: %v)", name, FamilyNames())
+}

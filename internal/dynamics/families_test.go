@@ -1,0 +1,73 @@
+package dynamics
+
+import (
+	"strings"
+	"testing"
+
+	"pef/internal/dyngraph"
+)
+
+func TestFamilyBuildsEveryName(t *testing.T) {
+	fp := FamilyParams{
+		P: 0.6, Up: 0.4, Down: 0.25,
+		Delta: 4, Edge: 1, From: 16, Period: 3, T: 4, Cut: 2, Horizon: 256,
+	}
+	for _, name := range FamilyNames() {
+		sp, err := Family(name, fp)
+		if err != nil {
+			t.Fatalf("Family(%q): %v", name, err)
+		}
+		if sp.Name == "" {
+			t.Fatalf("Family(%q): empty workload name", name)
+		}
+		g := sp.Build(6, 7)
+		if g.Ring().Size() != 6 {
+			t.Fatalf("Family(%q): built ring size %d", name, g.Ring().Size())
+		}
+		// The built graph must answer presence queries in range.
+		g.Present(0, 0)
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fp   FamilyParams
+		want string
+	}{
+		{"bernoulli", FamilyParams{P: 1.5}, "outside [0,1]"},
+		{"bounded", FamilyParams{P: 0.5, Delta: 0}, "Delta"},
+		{"t-interval", FamilyParams{T: 0}, "T=0"},
+		{"roving", FamilyParams{Period: 0}, "Period"},
+		{"chain", FamilyParams{Cut: -1, P: 0.5, Delta: 2}, "Cut"},
+		{"eventual-missing", FamilyParams{Edge: 0, From: -2, P: 0.5, Delta: 2}, "From"},
+		{"markov", FamilyParams{Up: 0, Down: 0.5}, "markov"},
+		{"no-such-family", FamilyParams{}, "unknown family"},
+	}
+	for _, c := range cases {
+		if _, err := Family(c.name, c.fp); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Family(%q, %+v): err = %v, want mention of %q", c.name, c.fp, err, c.want)
+		}
+	}
+}
+
+func TestBoundedBernoulliSpecRecurrence(t *testing.T) {
+	sp := BoundedBernoulliSpec(0, 4) // base never present: only the forced recurrence fires
+	g := sp.Build(5, 11)
+	for e := 0; e < 5; e++ {
+		present := 0
+		for tt := 0; tt < 64; tt++ {
+			if g.Present(e, tt) {
+				present++
+			}
+		}
+		// The recurrence bound forces each edge present every 4 instants.
+		if present != 16 {
+			t.Fatalf("edge %d present %d/64 instants, want exactly 16", e, present)
+		}
+	}
+	if _, ok := g.(*BoundedRecurrence); !ok {
+		t.Fatalf("BoundedBernoulliSpec built %T", g)
+	}
+	var _ dyngraph.EvolvingGraph = g
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"pef/internal/metrics"
 )
@@ -20,10 +18,15 @@ type BatchConfig struct {
 	Workers int
 	// Quick is forwarded to every job's Config.
 	Quick bool
+	// Shard expands experiments that declare Shards (the heavy ring-size
+	// sweeps) into per-ring-size sub-experiments before building the job
+	// matrix, so no single experiment serializes a sweep on one worker.
+	Shard bool
 	// OnResult, when non-nil, is invoked from the collecting goroutine
-	// exactly once per job in canonical (experiment, seed) order, as soon
-	// as every earlier job has finished. Emission order is therefore
-	// independent of the worker count.
+	// in canonical (experiment, seed) order, as soon as every earlier
+	// job has finished. Emission order is therefore independent of the
+	// worker count. On cancellation only the solid prefix is streamed
+	// (see PoolConfig.OnResult).
 	OnResult func(JobResult)
 }
 
@@ -86,8 +89,8 @@ func Seeds(base uint64, n int) []uint64 {
 	return out
 }
 
-// RunBatch fans the (experiment × seed) job matrix out across a bounded
-// worker pool and returns one JobResult per job in canonical order:
+// RunBatch fans the (experiment × seed) job matrix out across the generic
+// RunPool worker pool and returns one JobResult per job in canonical order:
 // experiments in index order, seeds in the order given, seeds varying
 // fastest. Results are collected unordered but the returned slice — and the
 // OnResult callback sequence — is identical for any worker count, so batch
@@ -102,90 +105,33 @@ func RunBatch(ctx context.Context, cfg BatchConfig) ([]JobResult, error) {
 	if exps == nil {
 		exps = All()
 	}
+	if cfg.Shard {
+		exps = Sharded(exps, cfg.Quick)
+	}
 	seeds := cfg.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	total := len(exps) * len(seeds)
-	if workers > total {
-		workers = total
-	}
-
-	results := make([]JobResult, total)
-	for i := range results {
-		results[i] = newJobResult(exps[i/len(seeds)], seeds[i%len(seeds)])
-	}
-	if total == 0 {
-		return results, ctx.Err()
-	}
-
-	type indexed struct {
-		i int
-		r JobResult
-	}
-	jobs := make(chan int)
-	out := make(chan indexed)
-
-	// Feeder: stops handing out work as soon as ctx is cancelled.
-	go func() {
-		defer close(jobs)
-		for i := 0; i < total; i++ {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				// The send is unconditional: the collector drains out
-				// until it closes, so even on cancellation a finished
-				// job's result is never dropped — "in-flight jobs
-				// finish" and their results land in the slice.
-				out <- indexed{i, runJob(exps[i/len(seeds)], seeds[i%len(seeds)], cfg.Quick)}
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
-
-	// Collector: a reorder buffer over the unordered completions. next is
-	// the canonical cursor; OnResult fires the moment the prefix is solid.
-	done := make([]bool, total)
-	next := 0
-	for ir := range out {
-		results[ir.i] = ir.r
-		done[ir.i] = true
-		for next < total && done[next] {
+	return RunPool(ctx, PoolConfig[JobResult]{
+		Total:   len(exps) * len(seeds),
+		Workers: cfg.Workers,
+		Run: func(i int) JobResult {
+			return runJob(exps[i/len(seeds)], seeds[i%len(seeds)], cfg.Quick)
+		},
+		Placeholder: func(i int) JobResult {
+			return newJobResult(exps[i/len(seeds)], seeds[i%len(seeds)])
+		},
+		Cancelled: func(_ int, jr JobResult, err error) JobResult {
+			jr.Err = fmt.Errorf("harness: experiment %s (seed %d): %w", jr.ID, jr.Seed, err)
+			jr.Result.Notes = append(jr.Result.Notes, "job cancelled before running")
+			return jr
+		},
+		OnResult: func(_ int, jr JobResult) {
 			if cfg.OnResult != nil {
-				cfg.OnResult(results[next])
+				cfg.OnResult(jr)
 			}
-			next++
-		}
-	}
-
-	if err := ctx.Err(); err != nil {
-		for i := range results {
-			if !done[i] {
-				results[i].Err = fmt.Errorf("harness: experiment %s (seed %d): %w", results[i].ID, results[i].Seed, err)
-				results[i].Result.Notes = append(results[i].Result.Notes, "job cancelled before running")
-			}
-		}
-		return results, err
-	}
-	return results, nil
+		},
+	})
 }
 
 // runJob executes one experiment under one seed, converting panics into
@@ -209,12 +155,16 @@ func runJob(e Experiment, seed uint64, quick bool) (jr JobResult) {
 }
 
 // SweepAggregate folds a batch's results into the metrics sweep matrix used
-// by the aggregate report: per-experiment pass rates across seeds plus the
-// per-seed min/max/gap summary.
+// by the aggregate report: per-experiment pass rates across seeds, the
+// per-seed min/max/gap summary, and the scalar observations (cover times,
+// revisit gaps) each experiment emitted.
 func SweepAggregate(jobs []JobResult) *metrics.Sweep {
 	sw := metrics.NewSweep()
 	for _, j := range jobs {
 		sw.Record(j.ID, j.Seed, j.Passed())
+		for _, sc := range j.Result.Scalars {
+			sw.RecordScalar(j.ID, sc.Name, sc.Value)
+		}
 	}
 	return sw
 }
@@ -236,6 +186,14 @@ func WriteBatchReport(w io.Writer, jobs []JobResult) error {
 	}
 	if err := sw.SeedTable().Render(w); err != nil {
 		return err
+	}
+	if sw.ScalarCount() > 0 {
+		if _, err := io.WriteString(w, "\n## Scalar metrics\n\n"); err != nil {
+			return err
+		}
+		if err := sw.ScalarTable().Render(w); err != nil {
+			return err
+		}
 	}
 	failures := 0
 	for _, j := range jobs {

@@ -15,15 +15,29 @@ import (
 	"pef/internal/ssync"
 )
 
+// x1Rings is the ring-size sweep of E-X1, shared by the full experiment
+// and its per-ring-size shards.
+func x1Rings(quick bool) []int {
+	if quick {
+		return []int{4, 8, 16}
+	}
+	return []int{4, 8, 16, 32, 64}
+}
+
 func runX1(cfg Config) (Result, error) {
-	res := Result{ID: "E-X1", Title: "Cover time scaling of PEF_3+ with ring size",
+	return runX1Rings(cfg, "E-X1", x1Rings(cfg.Quick))
+}
+
+func shardX1(quick bool) []Experiment {
+	return shardByRing("E-X1", "Cover time scaling of PEF_3+ with ring size",
+		"extension", x1Rings(quick), runX1Rings)
+}
+
+func runX1Rings(cfg Config, id string, ns []int) (Result, error) {
+	res := Result{ID: id, Title: "Cover time scaling of PEF_3+ with ring size",
 		Artifact: "extension", Pass: true}
 	res.Table = metrics.NewTable("n", "workload", "cover", "maxGap", "verdict")
 
-	ns := []int{4, 8, 16, 32, 64}
-	if cfg.Quick {
-		ns = []int{4, 8, 16}
-	}
 	workloads := []dynamics.Spec{
 		dynamics.StaticSpec(),
 		dynamics.BernoulliSpec(0.5),
@@ -39,6 +53,7 @@ func runX1(cfg Config) (Result, error) {
 			if err != nil {
 				return res, err
 			}
+			res.ObserveExploration(rep)
 			ok := rep.Covered == n
 			if !ok {
 				res.Pass = false
@@ -73,6 +88,7 @@ func runX2(cfg Config) (Result, error) {
 		if err != nil {
 			return res, err
 		}
+		res.ObserveExploration(rep)
 		ok := rep.Covered == n && rep.MaxGap <= horizon/2
 		if !ok {
 			res.Pass = false
@@ -217,15 +233,29 @@ func runX4(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// x5Rings is the ring-size sweep of E-X5, shared by the full experiment
+// and its per-ring-size shards.
+func x5Rings(quick bool) []int {
+	if quick {
+		return []int{4, 8}
+	}
+	return []int{4, 8, 16}
+}
+
 func runX5(cfg Config) (Result, error) {
-	res := Result{ID: "E-X5", Title: "PEF_3+ on connected-over-time chains",
+	return runX5Rings(cfg, "E-X5", x5Rings(cfg.Quick))
+}
+
+func shardX5(quick bool) []Experiment {
+	return shardByRing("E-X5", "PEF_3+ on connected-over-time chains",
+		"Section 1 remark", x5Rings(quick), runX5Rings)
+}
+
+func runX5Rings(cfg Config, id string, ns []int) (Result, error) {
+	res := Result{ID: id, Title: "PEF_3+ on connected-over-time chains",
 		Artifact: "Section 1 remark", Pass: true}
 	res.Table = metrics.NewTable("n", "cut edge", "cover", "maxGap", "verdict")
 
-	ns := []int{4, 8, 16}
-	if cfg.Quick {
-		ns = []int{4, 8}
-	}
 	for _, n := range ns {
 		horizon := 300 * n
 		if cfg.Quick {
@@ -241,6 +271,7 @@ func runX5(cfg Config) (Result, error) {
 			if err != nil {
 				return res, err
 			}
+			res.ObserveExploration(rep)
 			ok := possibleVerdict(rep, horizon)
 			if !ok {
 				res.Pass = false
@@ -346,6 +377,7 @@ func runX7(cfg Config) (Result, error) {
 			if err != nil {
 				return res, err
 			}
+			res.ObserveExploration(rep)
 			ok := possibleVerdict(rep, horizon)
 			if !ok {
 				res.Pass = false

@@ -77,15 +77,29 @@ func mustPeriodic(n int) dyngraph.EvolvingGraph {
 	return g
 }
 
+// x10Rings is the ring-size sweep of E-X10, shared by the full experiment
+// and its per-ring-size shards.
+func x10Rings(quick bool) []int {
+	if quick {
+		return []int{4, 8}
+	}
+	return []int{4, 8, 16, 32}
+}
+
 func runX10(cfg Config) (Result, error) {
-	res := Result{ID: "E-X10", Title: "Sentinel formation time (Lemma 3.7)",
+	return runX10Rings(cfg, "E-X10", x10Rings(cfg.Quick))
+}
+
+func shardX10(quick bool) []Experiment {
+	return shardByRing("E-X10", "Sentinel formation time (Lemma 3.7)",
+		"Lemma 3.7", x10Rings(quick), runX10Rings)
+}
+
+func runX10Rings(cfg Config, id string, ns []int) (Result, error) {
+	res := Result{ID: id, Title: "Sentinel formation time (Lemma 3.7)",
 		Artifact: "Lemma 3.7", Pass: true}
 	res.Table = metrics.NewTable("n", "k", "edge missing from", "sentinels stable from", "lag", "verdict")
 
-	ns := []int{4, 8, 16, 32}
-	if cfg.Quick {
-		ns = []int{4, 8}
-	}
 	for _, n := range ns {
 		for _, k := range []int{3, 4} {
 			if k >= n {
@@ -124,6 +138,7 @@ func runX10(cfg Config) (Result, error) {
 				if lag = rep.StableFrom - from; lag < 0 {
 					lag = 0
 				}
+				res.Observe("sentinelLag", lag)
 			}
 			res.Table.AddRow(n, k, from, rep.StableFrom, lag, verdict(ok))
 		}

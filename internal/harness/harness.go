@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"pef/internal/metrics"
+	"pef/internal/spec"
 )
 
 // Config parameterizes a harness run.
@@ -39,6 +40,25 @@ type Result struct {
 	Notes []string
 	// Diagram optionally holds a space-time excerpt (Figures 2 and 3).
 	Diagram string
+	// Scalars holds per-run scalar observations (cover times, revisit
+	// gaps, …) that sweeps aggregate into min/mean/max trends across
+	// seeds. Order is the experiment's own emission order.
+	Scalars []metrics.Scalar
+}
+
+// Observe appends one scalar observation to the result.
+func (r *Result) Observe(name string, value int) {
+	r.Scalars = append(r.Scalars, metrics.Scalar{Name: name, Value: value})
+}
+
+// ObserveExploration records the standard exploration scalars of a run
+// report: the cover time (when the run covered the ring) and the maximum
+// revisit gap.
+func (r *Result) ObserveExploration(rep spec.ExplorationReport) {
+	if rep.CoverTime >= 0 {
+		r.Observe("cover", rep.CoverTime)
+	}
+	r.Observe("maxGap", rep.MaxGap)
 }
 
 // Experiment is a runnable experiment.
@@ -47,29 +67,71 @@ type Experiment struct {
 	Title    string
 	Artifact string
 	Run      func(cfg Config) (Result, error)
+	// Shards optionally decomposes the experiment into independently
+	// runnable sub-experiments (one per ring size for the heavy sweeps),
+	// so a single experiment no longer serializes on one batch worker.
+	// The quick flag must match the Config the shards will run under,
+	// because it selects the swept ring sizes.
+	Shards func(quick bool) []Experiment
+}
+
+// Sharded expands every experiment that declares Shards into its
+// sub-experiments, leaving the others untouched. Expansion preserves index
+// order, and each shard's rows reproduce exactly the rows the full
+// experiment computes for that ring size (same seeds, same workloads), so
+// a sharded sweep covers the same ground with finer-grained parallelism.
+func Sharded(exps []Experiment, quick bool) []Experiment {
+	var out []Experiment
+	for _, e := range exps {
+		if e.Shards != nil {
+			out = append(out, e.Shards(quick)...)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// shardByRing builds one sub-experiment per ring size with IDs
+// "<id>#n=<size>", each running the parameterized body on a single size.
+func shardByRing(id, title, artifact string, ns []int, run func(cfg Config, id string, ns []int) (Result, error)) []Experiment {
+	out := make([]Experiment, 0, len(ns))
+	for _, n := range ns {
+		n := n
+		sid := fmt.Sprintf("%s#n=%d", id, n)
+		out = append(out, Experiment{
+			ID:       sid,
+			Title:    fmt.Sprintf("%s [n=%d]", title, n),
+			Artifact: artifact,
+			Run: func(cfg Config) (Result, error) {
+				return run(cfg, sid, []int{n})
+			},
+		})
+	}
+	return out
 }
 
 // All returns the full experiment index in report order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "E-T1.R1", Title: "PEF_3+ explores with k>=3 robots on n>k rings", Artifact: "Table 1 row 1 (Theorem 3.1)", Run: runT1R1},
-		{ID: "E-T1.R2", Title: "Two robots are confined on rings of size >= 4", Artifact: "Table 1 row 2 (Theorem 4.1)", Run: runT1R2},
+		{ID: "E-T1.R1", Title: "PEF_3+ explores with k>=3 robots on n>k rings", Artifact: "Table 1 row 1 (Theorem 3.1)", Run: runT1R1, Shards: shardT1R1},
+		{ID: "E-T1.R2", Title: "Two robots are confined on rings of size >= 4", Artifact: "Table 1 row 2 (Theorem 4.1)", Run: runT1R2, Shards: shardT1R2},
 		{ID: "E-T1.R3", Title: "PEF_2 explores the 3-node ring with 2 robots", Artifact: "Table 1 row 3 (Theorem 4.2)", Run: runT1R3},
-		{ID: "E-T1.R4", Title: "One robot is confined on rings of size >= 3", Artifact: "Table 1 row 4 (Theorem 5.1)", Run: runT1R4},
+		{ID: "E-T1.R4", Title: "One robot is confined on rings of size >= 3", Artifact: "Table 1 row 4 (Theorem 5.1)", Run: runT1R4, Shards: shardT1R4},
 		{ID: "E-T1.R5", Title: "PEF_1 explores the 2-node ring with 1 robot", Artifact: "Table 1 row 5 (Theorem 5.2)", Run: runT1R5},
 		{ID: "E-F1", Title: "Mirror gadget G' and Claims 1-4 of Lemma 4.1", Artifact: "Figure 1", Run: runF1},
 		{ID: "E-F2", Title: "Four-phase confinement schedule for two robots", Artifact: "Figure 2 (Theorem 4.1 construction)", Run: runF2},
 		{ID: "E-F3", Title: "Two-phase confinement schedule for one robot", Artifact: "Figure 3 (Theorem 5.1 construction)", Run: runF3},
-		{ID: "E-X1", Title: "Cover time scaling of PEF_3+ with ring size", Artifact: "extension", Run: runX1},
+		{ID: "E-X1", Title: "Cover time scaling of PEF_3+ with ring size", Artifact: "extension", Run: runX1, Shards: shardX1},
 		{ID: "E-X2", Title: "Revisit gap versus edge recurrence bound", Artifact: "extension", Run: runX2},
 		{ID: "E-X3", Title: "Rule ablations of PEF_3+", Artifact: "extension (Section 3.1 rationale)", Run: runX3},
 		{ID: "E-X4", Title: "SSYNC impossibility versus FSYNC control", Artifact: "related work [10] (Section 1)", Run: runX4},
-		{ID: "E-X5", Title: "PEF_3+ on connected-over-time chains", Artifact: "Section 1 remark", Run: runX5},
+		{ID: "E-X5", Title: "PEF_3+ on connected-over-time chains", Artifact: "Section 1 remark", Run: runX5, Shards: shardX5},
 		{ID: "E-X6", Title: "Self-stabilization probe from corrupted configurations", Artifact: "extension ([4] context)", Run: runX6},
 		{ID: "E-X7", Title: "Team size sweep", Artifact: "extension", Run: runX7},
 		{ID: "E-X8", Title: "Convergence framework prefix growth", Artifact: "framework [5]", Run: runX8},
 		{ID: "E-X9", Title: "Dynamics taxonomy classification", Artifact: "taxonomy of [6] (Section 2.1 context)", Run: runX9},
-		{ID: "E-X10", Title: "Sentinel formation time (Lemma 3.7)", Artifact: "Lemma 3.7", Run: runX10},
+		{ID: "E-X10", Title: "Sentinel formation time (Lemma 3.7)", Artifact: "Lemma 3.7", Run: runX10, Shards: shardX10},
 		{ID: "E-X11", Title: "The three-robot threshold: containment vs legality", Artifact: "Table 1 synthesis", Run: runX11},
 	}
 }

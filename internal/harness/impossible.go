@@ -45,21 +45,35 @@ func confineOne(alg robot.Algorithm, chir robot.Chirality, n, horizon int) (*spe
 	return ct, adv, sim, rec, nil
 }
 
+// t1r4Rings is the ring-size sweep of E-T1.R4, shared by the full
+// experiment and its per-ring-size shards.
+func t1r4Rings(quick bool) []int {
+	if quick {
+		return []int{3, 8}
+	}
+	return []int{3, 4, 8, 16}
+}
+
 func runT1R4(cfg Config) (Result, error) {
-	res := Result{ID: "E-T1.R4", Title: "One robot is confined on rings of size >= 3",
+	return runT1R4Rings(cfg, "E-T1.R4", t1r4Rings(cfg.Quick))
+}
+
+func shardT1R4(quick bool) []Experiment {
+	return shardByRing("E-T1.R4", "One robot is confined on rings of size >= 3",
+		"Table 1 row 4 (Theorem 5.1)", t1r4Rings(quick), runT1R4Rings)
+}
+
+func runT1R4Rings(cfg Config, id string, ns []int) (Result, error) {
+	res := Result{ID: id, Title: "One robot is confined on rings of size >= 3",
 		Artifact: "Table 1 row 4 (Theorem 5.1)", Pass: true}
 	res.Table = metrics.NewTable("algorithm", "n", "visited", "outcome", "verdict")
 
-	ns := []int{3, 4, 8, 16}
-	if cfg.Quick {
-		ns = []int{3, 8}
-	}
-	for _, alg := range victimSuite() {
-		for _, n := range ns {
-			horizon := 64 * n
-			if cfg.Quick {
-				horizon = 24 * n
-			}
+	for _, n := range ns {
+		horizon := 64 * n
+		if cfg.Quick {
+			horizon = 24 * n
+		}
+		for _, alg := range victimSuite() {
 			ct, adv, sim, _, err := confineOne(alg, robot.RightIsCW, n, horizon)
 			if err != nil {
 				return res, err
@@ -82,21 +96,35 @@ func runT1R4(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// t1r2Rings is the ring-size sweep of E-T1.R2, shared by the full
+// experiment and its per-ring-size shards.
+func t1r2Rings(quick bool) []int {
+	if quick {
+		return []int{4, 8}
+	}
+	return []int{4, 5, 8, 16}
+}
+
 func runT1R2(cfg Config) (Result, error) {
-	res := Result{ID: "E-T1.R2", Title: "Two robots are confined on rings of size >= 4",
+	return runT1R2Rings(cfg, "E-T1.R2", t1r2Rings(cfg.Quick))
+}
+
+func shardT1R2(quick bool) []Experiment {
+	return shardByRing("E-T1.R2", "Two robots are confined on rings of size >= 4",
+		"Table 1 row 2 (Theorem 4.1)", t1r2Rings(quick), runT1R2Rings)
+}
+
+func runT1R2Rings(cfg Config, id string, ns []int) (Result, error) {
+	res := Result{ID: id, Title: "Two robots are confined on rings of size >= 4",
 		Artifact: "Table 1 row 2 (Theorem 4.1)", Pass: true}
 	res.Table = metrics.NewTable("algorithm", "n", "visited", "outcome", "verdict")
 
-	ns := []int{4, 5, 8, 16}
-	if cfg.Quick {
-		ns = []int{4, 8}
-	}
-	for _, alg := range victimSuite() {
-		for _, n := range ns {
-			horizon := 64 * n
-			if cfg.Quick {
-				horizon = 24 * n
-			}
+	for _, n := range ns {
+		horizon := 64 * n
+		if cfg.Quick {
+			horizon = 24 * n
+		}
+		for _, alg := range victimSuite() {
 			adv := adversary.NewTwoRobotConfinement(n, 0, 0, 1)
 			ct := spec.NewConfinementTracker()
 			sim, err := fsync.New(fsync.Config{

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// PoolConfig parameterizes RunPool, the generic indexed worker pool behind
+// every batch-style sweep in this repository. The pool knows nothing about
+// experiments: jobs are plain indices 0..Total-1 and results are any type,
+// so the experiment index, scenario campaigns, and future workloads all
+// share one scheduling and determinism engine.
+type PoolConfig[R any] struct {
+	// Total is the number of jobs, addressed 0..Total-1.
+	Total int
+	// Workers bounds the worker pool; values < 1 mean GOMAXPROCS.
+	Workers int
+	// Run executes job i on a worker goroutine. It must contain its own
+	// panic recovery: the pool does not guess how to turn a panic into an
+	// R (see runJob for the experiment-index convention).
+	Run func(i int) R
+	// Placeholder, when non-nil, builds the result slot of a job skipped
+	// by cancellation, so it still renders with its identity. It is only
+	// invoked for skipped jobs; executed jobs never see it.
+	Placeholder func(i int) R
+	// Cancelled, when non-nil, rewrites the (placeholder) result of a job
+	// that never ran because the context was cancelled.
+	Cancelled func(i int, r R, err error) R
+	// OnResult, when non-nil, is invoked from the collecting goroutine
+	// in strict index order, as soon as every earlier job has finished.
+	// Emission order is therefore independent of the worker count. It
+	// covers the solid prefix only: after a cancellation, jobs that
+	// finished beyond the first skipped index appear in the returned
+	// slice but are not streamed.
+	OnResult func(i int, r R)
+}
+
+// RunPool fans Total jobs out across a bounded worker pool and returns one
+// result per job in index order. Results are collected unordered but the
+// returned slice — and the OnResult callback sequence — is identical for
+// any worker count, so pool output is bit-for-bit reproducible.
+//
+// RunPool itself fails only when ctx is cancelled, in which case in-flight
+// jobs finish, unstarted jobs keep their placeholder (rewritten by
+// Cancelled), and the partially-filled slice is returned alongside the
+// context error.
+func RunPool[R any](ctx context.Context, cfg PoolConfig[R]) ([]R, error) {
+	total := cfg.Total
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	results := make([]R, total)
+	if total == 0 {
+		return results, ctx.Err()
+	}
+
+	type indexed struct {
+		i int
+		r R
+	}
+	jobs := make(chan int)
+	out := make(chan indexed)
+
+	// Feeder: stops handing out work as soon as ctx is cancelled.
+	go func() {
+		defer close(jobs)
+		for i := 0; i < total; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// The send is unconditional: the collector drains out
+				// until it closes, so even on cancellation a finished
+				// job's result is never dropped — "in-flight jobs
+				// finish" and their results land in the slice.
+				out <- indexed{i, cfg.Run(i)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Collector: a reorder buffer over the unordered completions. next is
+	// the index-order cursor; OnResult fires the moment the prefix is solid.
+	done := make([]bool, total)
+	next := 0
+	for ir := range out {
+		results[ir.i] = ir.r
+		done[ir.i] = true
+		for next < total && done[next] {
+			if cfg.OnResult != nil {
+				cfg.OnResult(next, results[next])
+			}
+			next++
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if done[i] {
+				continue
+			}
+			var r R
+			if cfg.Placeholder != nil {
+				r = cfg.Placeholder(i)
+			}
+			if cfg.Cancelled != nil {
+				r = cfg.Cancelled(i, r, err)
+			}
+			results[i] = r
+		}
+		return results, err
+	}
+	return results, nil
+}

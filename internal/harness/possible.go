@@ -43,15 +43,10 @@ func obliviousBuild(sp dynamics.Spec, n int) func(seed uint64) fsync.Dynamics {
 // possibleVerdict is the finite-horizon acceptance criterion for the
 // possibility rows of Table 1: full coverage, at least two visits per node
 // (the ring keeps being re-explored), and a revisit gap no larger than half
-// the horizon (a gap-bound that stays fixed as horizons grow).
+// the horizon (a gap-bound that stays fixed as horizons grow). The scenario
+// oracle enforces the same shared predicate.
 func possibleVerdict(rep spec.ExplorationReport, horizon int) bool {
-	minVisits := rep.Horizon
-	for _, v := range rep.Visits {
-		if v < minVisits {
-			minVisits = v
-		}
-	}
-	return rep.Covered == rep.Nodes && rep.CoverTime >= 0 && minVisits >= 2 && rep.MaxGap <= horizon/2
+	return rep.ExploreViolation(2, horizon/2) == ""
 }
 
 // namedDynamics is one entry of a workload battery; order matters for
@@ -78,31 +73,48 @@ func positiveWorkloads(n int) []namedDynamics {
 	return out
 }
 
+// t1r1Rings is the ring-size sweep of E-T1.R1, shared by the full
+// experiment and its per-ring-size shards.
+func t1r1Rings(quick bool) []int {
+	if quick {
+		return []int{4, 8}
+	}
+	return []int{4, 6, 8, 12}
+}
+
 func runT1R1(cfg Config) (Result, error) {
-	res := Result{ID: "E-T1.R1", Title: "PEF_3+ explores with k>=3 robots on n>k rings",
+	return runT1R1Rings(cfg, "E-T1.R1", t1r1Rings(cfg.Quick))
+}
+
+func shardT1R1(quick bool) []Experiment {
+	return shardByRing("E-T1.R1", "PEF_3+ explores with k>=3 robots on n>k rings",
+		"Table 1 row 1 (Theorem 3.1)", t1r1Rings(quick), runT1R1Rings)
+}
+
+func runT1R1Rings(cfg Config, id string, ns []int) (Result, error) {
+	res := Result{ID: id, Title: "PEF_3+ explores with k>=3 robots on n>k rings",
 		Artifact: "Table 1 row 1 (Theorem 3.1)", Pass: true}
 	res.Table = metrics.NewTable("k", "n", "workload", "cover", "maxGap", "towers", "verdict")
 
 	ks := []int{3, 4, 5}
-	ns := []int{4, 6, 8, 12}
 	if cfg.Quick {
 		ks = []int{3}
-		ns = []int{4, 8}
 	}
-	for _, k := range ks {
-		for _, n := range ns {
+	for _, n := range ns {
+		horizon := 200 * n
+		if cfg.Quick {
+			horizon = 60 * n
+		}
+		for _, k := range ks {
 			if n <= k {
 				continue
-			}
-			horizon := 200 * n
-			if cfg.Quick {
-				horizon = 60 * n
 			}
 			for _, wl := range positiveWorkloads(n) {
 				rep, ti, err := explorationRun(core.PEF3Plus{}, n, k, wl.build, cfg.Seed+uint64(n*100+k), horizon)
 				if err != nil {
 					return res, err
 				}
+				res.ObserveExploration(rep)
 				ok := possibleVerdict(rep, horizon) && ti.OK()
 				if !ok {
 					res.Pass = false
@@ -149,6 +161,7 @@ func runT1R3(cfg Config) (Result, error) {
 			}
 			sim.Run(horizon)
 			rep := vt.Report()
+			res.ObserveExploration(rep)
 			ok := possibleVerdict(rep, horizon)
 			if !ok {
 				res.Pass = false
@@ -201,6 +214,7 @@ func runT1R5(cfg Config) (Result, error) {
 			if err != nil {
 				return res, err
 			}
+			res.ObserveExploration(rep)
 			ok := possibleVerdict(rep, horizon)
 			if !ok {
 				res.Pass = false

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// shardable lists the experiments that declare a ring-size decomposition.
+func shardable(t *testing.T) []Experiment {
+	t.Helper()
+	var out []Experiment
+	for _, e := range All() {
+		if e.Shards != nil {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no shardable experiments in the index")
+	}
+	return out
+}
+
+// TestShardsCoverFullExperiment verifies the defining shard property: for
+// each shardable experiment, concatenating the per-ring-size shard tables
+// (and verdicts) in index order reproduces the full experiment exactly.
+func TestShardsCoverFullExperiment(t *testing.T) {
+	cfg := Config{Seed: 3, Quick: true}
+	for _, e := range shardable(t) {
+		full, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		var tables []string
+		pass := true
+		for _, sh := range e.Shards(cfg.Quick) {
+			if !strings.HasPrefix(sh.ID, e.ID+"#") {
+				t.Fatalf("%s: shard ID %q does not extend the parent ID", e.ID, sh.ID)
+			}
+			res, err := sh.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", sh.ID, err)
+			}
+			if res.ID != sh.ID {
+				t.Fatalf("%s: result carries ID %q", sh.ID, res.ID)
+			}
+			tables = append(tables, tableRows(res))
+			pass = pass && res.Pass
+		}
+		if got, want := strings.Join(tables, ""), tableRows(full); got != want {
+			t.Errorf("%s: shard rows do not concatenate to the full table:\n--- shards ---\n%s--- full ---\n%s", e.ID, got, want)
+		}
+		if pass != full.Pass {
+			t.Errorf("%s: shard verdict %t, full verdict %t", e.ID, pass, full.Pass)
+		}
+	}
+}
+
+// tableRows renders a result's table without the header and with cell
+// alignment normalized (tabwriter pads columns differently for different
+// row sets), so shard tables can be compared by concatenation.
+func tableRows(res Result) string {
+	lines := strings.Split(res.Table.String(), "\n")
+	if len(lines) < 3 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range lines[2:] {
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		b.WriteString(strings.Join(strings.Fields(l), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestShardedBatchDeterministicAcrossWorkers runs the sharded quick index
+// through the batch engine at two worker counts and demands byte-identical
+// reports — the reorder-buffer guarantee must survive shard expansion.
+func TestShardedBatchDeterministicAcrossWorkers(t *testing.T) {
+	exps := Sharded(All()[:2], true) // E-T1.R1 + E-T1.R2 → 4 shards
+	if len(exps) != 4 {
+		t.Fatalf("expected 4 shards from the first two experiments, got %d", len(exps))
+	}
+	render := func(workers int) string {
+		jobs, err := RunBatch(context.Background(), BatchConfig{
+			Experiments: exps,
+			Seeds:       Seeds(1, 3),
+			Workers:     workers,
+			Quick:       true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		if err := WriteBatchReport(&b, jobs); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(1) != render(8) {
+		t.Fatal("sharded batch report differs across worker counts")
+	}
+}
+
+// TestBatchShardFlag checks that BatchConfig.Shard expands the job matrix.
+func TestBatchShardFlag(t *testing.T) {
+	exps := All()[:1] // E-T1.R1, 2 quick shards
+	jobs, err := RunBatch(context.Background(), BatchConfig{
+		Experiments: exps,
+		Seeds:       []uint64{1},
+		Quick:       true,
+		Shard:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("sharded batch produced %d jobs, want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		if !strings.HasPrefix(j.ID, "E-T1.R1#n=") {
+			t.Fatalf("unexpected shard job ID %q", j.ID)
+		}
+		if !j.Passed() {
+			t.Fatalf("shard %s failed: err=%v notes=%v", j.ID, j.Err, j.Result.Notes)
+		}
+	}
+}

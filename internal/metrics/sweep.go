@@ -14,14 +14,36 @@ type Sweep struct {
 	idIdx   map[string]int
 	seedIdx map[uint64]int
 	pass    map[[2]int]bool
+
+	// Scalar observations (cover times, revisit gaps, …) keyed by
+	// (id, metric name), in first-recorded order for deterministic
+	// rendering.
+	scalarKeys []scalarKey
+	scalarIdx  map[scalarKey]int
+	scalars    [][]int
+}
+
+// scalarKey addresses one scalar series: an experiment ID and a metric name.
+type scalarKey struct {
+	id   string
+	name string
+}
+
+// Scalar is one named scalar observation attached to a job result (e.g.
+// {"cover", 137}). Experiments record several per run; the sweep aggregates
+// them into min/mean/max rows across every seed and run.
+type Scalar struct {
+	Name  string `json:"name"`
+	Value int    `json:"value"`
 }
 
 // NewSweep creates an empty sweep matrix.
 func NewSweep() *Sweep {
 	return &Sweep{
-		idIdx:   make(map[string]int),
-		seedIdx: make(map[uint64]int),
-		pass:    make(map[[2]int]bool),
+		idIdx:     make(map[string]int),
+		seedIdx:   make(map[uint64]int),
+		pass:      make(map[[2]int]bool),
+		scalarIdx: make(map[scalarKey]int),
 	}
 }
 
@@ -41,6 +63,75 @@ func (s *Sweep) Record(id string, seed uint64, pass bool) {
 		s.seeds = append(s.seeds, seed)
 	}
 	s.pass[[2]int{i, j}] = pass
+}
+
+// RecordScalar appends one scalar observation for the given experiment ID.
+// Unlike Record, scalars accumulate: every observation contributes to the
+// min/mean/max aggregate of its (id, name) series.
+func (s *Sweep) RecordScalar(id, name string, value int) {
+	k := scalarKey{id, name}
+	i, ok := s.scalarIdx[k]
+	if !ok {
+		i = len(s.scalarKeys)
+		s.scalarIdx[k] = i
+		s.scalarKeys = append(s.scalarKeys, k)
+		s.scalars = append(s.scalars, nil)
+	}
+	s.scalars[i] = append(s.scalars[i], value)
+}
+
+// ScalarSeries returns the recorded values for one (id, name) series, nil
+// when the series was never recorded.
+func (s *Sweep) ScalarSeries(id, name string) []int {
+	i, ok := s.scalarIdx[scalarKey{id, name}]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), s.scalars[i]...)
+}
+
+// ScalarCount returns the number of distinct (id, metric) scalar series.
+func (s *Sweep) ScalarCount() int { return len(s.scalarKeys) }
+
+// ScalarRow is one aggregated scalar series, the unit of the scalar table
+// and of machine-readable sweep output.
+type ScalarRow struct {
+	ID     string  `json:"id"`
+	Metric string  `json:"metric"`
+	Count  int     `json:"count"`
+	Min    int     `json:"min"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	Max    int     `json:"max"`
+}
+
+// ScalarRows aggregates every recorded scalar series in first-recorded
+// order.
+func (s *Sweep) ScalarRows() []ScalarRow {
+	rows := make([]ScalarRow, 0, len(s.scalarKeys))
+	for i, k := range s.scalarKeys {
+		sum := Summarize(s.scalars[i])
+		rows = append(rows, ScalarRow{
+			ID:     k.id,
+			Metric: k.name,
+			Count:  sum.Count,
+			Min:    sum.Min,
+			Mean:   sum.Mean,
+			Median: sum.Median,
+			Max:    sum.Max,
+		})
+	}
+	return rows
+}
+
+// ScalarTable renders the per-experiment scalar aggregates: one row per
+// (experiment, metric) series with its count and min/mean/max spread.
+func (s *Sweep) ScalarTable() *Table {
+	t := NewTable("experiment", "metric", "count", "min", "mean", "median", "max")
+	for _, r := range s.ScalarRows() {
+		t.AddRow(r.ID, r.Metric, r.Count, r.Min, fmt.Sprintf("%.1f", r.Mean), fmt.Sprintf("%.1f", r.Median), r.Max)
+	}
+	return t
 }
 
 // IDs returns the number of distinct experiment IDs recorded.

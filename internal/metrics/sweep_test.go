@@ -97,3 +97,37 @@ func TestSweepEmpty(t *testing.T) {
 		t.Fatalf("empty aggregate table should mark rate n/a:\n%s", got)
 	}
 }
+
+func TestSweepScalars(t *testing.T) {
+	sw := NewSweep()
+	sw.RecordScalar("E-A", "cover", 10)
+	sw.RecordScalar("E-A", "cover", 20)
+	sw.RecordScalar("E-A", "maxGap", 7)
+	sw.RecordScalar("E-B", "cover", 30)
+	if got := sw.ScalarCount(); got != 3 {
+		t.Fatalf("ScalarCount = %d, want 3", got)
+	}
+	if got := sw.ScalarSeries("E-A", "cover"); !reflect.DeepEqual(got, []int{10, 20}) {
+		t.Fatalf("ScalarSeries(E-A, cover) = %v", got)
+	}
+	if got := sw.ScalarSeries("E-A", "missing"); got != nil {
+		t.Fatalf("unknown series = %v, want nil", got)
+	}
+	rows := sw.ScalarRows()
+	want := []ScalarRow{
+		{ID: "E-A", Metric: "cover", Count: 2, Min: 10, Mean: 15, Median: 15, Max: 20},
+		{ID: "E-A", Metric: "maxGap", Count: 1, Min: 7, Mean: 7, Median: 7, Max: 7},
+		{ID: "E-B", Metric: "cover", Count: 1, Min: 30, Mean: 30, Median: 30, Max: 30},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("ScalarRows:\ngot  %+v\nwant %+v", rows, want)
+	}
+	// Rendering keeps first-recorded order and is deterministic.
+	out := sw.ScalarTable().String()
+	if strings.Index(out, "maxGap") > strings.Index(out, "E-B") {
+		t.Fatalf("scalar table lost first-recorded order:\n%s", out)
+	}
+	if out != sw.ScalarTable().String() {
+		t.Fatal("scalar table rendering is not deterministic")
+	}
+}

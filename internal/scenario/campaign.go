@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pef/internal/harness"
+	"pef/internal/metrics"
+)
+
+// CampaignConfig parameterizes a generated-scenario sweep: the generator,
+// its parameter-space bounds, how many scenarios each generator seed
+// contributes, and the worker pool they shard across.
+type CampaignConfig struct {
+	// Generator names the sampler (see Generators); empty means "uniform".
+	Generator string
+	// Gen bounds the sampled parameter space.
+	Gen GenConfig
+	// Count is the number of scenarios generated per seed; values < 1
+	// mean 1.
+	Count int
+	// Seeds lists the generator seeds; empty means {1}.
+	Seeds []uint64
+	// Workers bounds the worker pool; values < 1 mean GOMAXPROCS.
+	Workers int
+	// OnVerdict, when non-nil, streams verdicts in canonical order
+	// (seeds in the order given, stream index inside each seed),
+	// independent of the worker count. On cancellation only the solid
+	// prefix is streamed; consume Campaign.Verdicts for everything that
+	// still finished.
+	OnVerdict func(Verdict)
+}
+
+// Campaign is a completed sweep: the generated specs and their verdicts in
+// canonical order, plus the configuration that produced them. Every report
+// derives from the verdict slice alone, so campaign output is
+// byte-identical for any worker count.
+type Campaign struct {
+	// Generator, Count and Seeds echo the resolved configuration.
+	Generator string
+	Count     int
+	Seeds     []uint64
+	// Verdicts holds one verdict per generated scenario in canonical
+	// order.
+	Verdicts []Verdict
+}
+
+// RunCampaign generates Count scenarios per seed and shards them across
+// the harness worker pool, checking every one against the property oracle.
+// Scenario-level failures (panics, invalid samples) become error verdicts;
+// RunCampaign itself fails only on an unknown generator or a cancelled
+// context.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
+	name := cfg.Generator
+	if name == "" {
+		name = "uniform"
+	}
+	count := cfg.Count
+	if count < 1 {
+		count = 1
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	var specs []Spec
+	for _, seed := range seeds {
+		batch, err := Generate(name, cfg.Gen, seed, count)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, batch...)
+	}
+	verdicts, err := harness.RunPool(ctx, harness.PoolConfig[Verdict]{
+		Total:   len(specs),
+		Workers: cfg.Workers,
+		Run: func(i int) Verdict {
+			return Run(specs[i]) // Run recovers its own panics
+		},
+		Placeholder: func(i int) Verdict {
+			return Verdict{ID: specs[i].ID(), Spec: specs[i], Expect: specs[i].Expect, Outcome: "error", CoverTime: -1}
+		},
+		Cancelled: func(_ int, v Verdict, err error) Verdict {
+			v.Err = fmt.Sprintf("scenario cancelled before running: %v", err)
+			return v
+		},
+		OnResult: func(_ int, v Verdict) {
+			if cfg.OnVerdict != nil {
+				cfg.OnVerdict(v)
+			}
+		},
+	})
+	c := &Campaign{Generator: name, Count: count, Seeds: seeds, Verdicts: verdicts}
+	return c, err
+}
+
+// OKCount returns the number of verdicts whose expectation holds.
+func (c *Campaign) OKCount() int {
+	n := 0
+	for _, v := range c.Verdicts {
+		if v.OK && v.Err == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Violations returns the verdicts that failed their predicate or errored,
+// in canonical order.
+func (c *Campaign) Violations() []Verdict {
+	var out []Verdict
+	for _, v := range c.Verdicts {
+		if !v.OK || v.Err != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FamilyStats aggregates a campaign per dynamics family.
+type FamilyStats struct {
+	Family string `json:"family"`
+	// Runs and OK count the family's scenarios and how many satisfied
+	// their expectation.
+	Runs int `json:"runs"`
+	OK   int `json:"ok"`
+	// ByExpect counts runs per enforced expectation, in canonical order
+	// (explore, confine, none).
+	Explore int `json:"explore,omitempty"`
+	Confine int `json:"confine,omitempty"`
+	None    int `json:"none,omitempty"`
+}
+
+// FamilyTable returns per-family aggregates in first-seen (canonical)
+// order.
+func (c *Campaign) FamilyTable() []FamilyStats {
+	idx := map[string]int{}
+	var stats []FamilyStats
+	for _, v := range c.Verdicts {
+		fam := v.Spec.Family
+		i, ok := idx[fam]
+		if !ok {
+			i = len(stats)
+			idx[fam] = i
+			stats = append(stats, FamilyStats{Family: fam})
+		}
+		stats[i].Runs++
+		if v.OK && v.Err == "" {
+			stats[i].OK++
+		}
+		switch v.Expect {
+		case ExpectExplore:
+			stats[i].Explore++
+		case ExpectConfine:
+			stats[i].Confine++
+		default:
+			stats[i].None++
+		}
+	}
+	return stats
+}
+
+// Sweep folds the campaign into the shared metrics aggregate: per-family
+// verdict counts via scalars plus cover-time and revisit-gap series for
+// the explored scenarios.
+func (c *Campaign) Sweep() *metrics.Sweep {
+	sw := metrics.NewSweep()
+	for _, v := range c.Verdicts {
+		if v.Err != "" {
+			continue // errored/cancelled scenarios carry no metrics
+		}
+		fam := v.Spec.Family
+		if v.CoverTime >= 0 {
+			sw.RecordScalar(fam, "cover", v.CoverTime)
+		}
+		if v.Outcome == "explored" || v.Outcome == "partial" {
+			sw.RecordScalar(fam, "maxGap", v.MaxGap)
+		}
+		sw.RecordScalar(fam, "distinct", v.Distinct)
+	}
+	return sw
+}
+
+// WriteReport renders the campaign as a human-readable report: the family
+// aggregate, the scalar spread, and one section per violation.
+func (c *Campaign) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Scenario campaign (generator=%s, count=%d, seeds=%d)\n",
+		c.Generator, c.Count, len(c.Seeds)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n## Families (%d scenarios, %d ok)\n\n", len(c.Verdicts), c.OKCount()); err != nil {
+		return err
+	}
+	ft := metrics.NewTable("family", "runs", "ok", "explore", "confine", "none")
+	for _, fs := range c.FamilyTable() {
+		ft.AddRow(fs.Family, fs.Runs, fs.OK, fs.Explore, fs.Confine, fs.None)
+	}
+	if err := ft.Render(w); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n## Scalar metrics\n\n"); err != nil {
+		return err
+	}
+	if err := c.Sweep().ScalarTable().Render(w); err != nil {
+		return err
+	}
+	violations := c.Violations()
+	for _, v := range violations {
+		if _, err := fmt.Fprintf(w, "\n### Violation: %s\n", v.ID); err != nil {
+			return err
+		}
+		detail := v.Violation
+		if v.Err != "" {
+			detail = v.Err
+		}
+		if _, err := fmt.Fprintf(w, "\nexpect=%s outcome=%s covered=%d/%d maxGap=%d distinct=%d: %s\n",
+			v.Expect, v.Outcome, v.Covered, v.Spec.Ring, v.MaxGap, v.Distinct, detail); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n---\n%d/%d scenarios satisfy the paper's predicates.\n",
+		len(c.Verdicts)-len(violations), len(c.Verdicts))
+	return err
+}
+
+// jsonCampaign is the versioned machine-readable campaign document (the
+// BENCH_*.json payload of scenario sweeps). It deliberately omits the
+// worker count so reports are byte-identical for any -workers value.
+type jsonCampaign struct {
+	Version    int                 `json:"version"`
+	Generator  string              `json:"generator"`
+	Count      int                 `json:"count"`
+	Seeds      []uint64            `json:"seeds"`
+	Total      int                 `json:"total"`
+	OK         int                 `json:"ok"`
+	OKRate     float64             `json:"okRate"`
+	Families   []FamilyStats       `json:"families"`
+	Scalars    []metrics.ScalarRow `json:"scalars"`
+	Violations []Verdict           `json:"violations,omitempty"`
+}
+
+// WriteJSON renders the versioned campaign document.
+func (c *Campaign) WriteJSON(w io.Writer) error {
+	doc := jsonCampaign{
+		Version:    Version,
+		Generator:  c.Generator,
+		Count:      c.Count,
+		Seeds:      c.Seeds,
+		Total:      len(c.Verdicts),
+		OK:         c.OKCount(),
+		Families:   c.FamilyTable(),
+		Scalars:    c.Sweep().ScalarRows(),
+		Violations: c.Violations(),
+	}
+	if doc.Total > 0 {
+		doc.OKRate = float64(doc.OK) / float64(doc.Total)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

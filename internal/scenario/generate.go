@@ -1,0 +1,356 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pef/internal/prng"
+)
+
+// GenConfig bounds the parameter space the samplers draw from. The zero
+// value means "defaults" (rings of 4..16 nodes, teams of up to 5 robots).
+type GenConfig struct {
+	// MinRing and MaxRing bound the sampled ring sizes. MinRing is
+	// clamped to 4 for samplers that need room for three robots.
+	MinRing, MaxRing int
+	// MaxRobots bounds the sampled team sizes.
+	MaxRobots int
+}
+
+// withDefaults fills unset (zero) fields without overriding explicit
+// values; validate rejects explicit values the samplers cannot honor.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MinRing < 2 {
+		c.MinRing = 4
+	}
+	if c.MaxRing == 0 {
+		c.MaxRing = c.MinRing + 12
+	}
+	if c.MaxRobots < 1 {
+		c.MaxRobots = 5
+	}
+	return c
+}
+
+// validate checks a defaulted config: every sampler needs rings of at
+// least 4 nodes (three robots plus room to move, confine-two's n >= 4)
+// and room for the three-robot teams the possibility samplers draw.
+func (c GenConfig) validate() error {
+	if c.MaxRing < 4 {
+		return fmt.Errorf("scenario: MaxRing %d below 4 (samplers need rings of at least 4 nodes)", c.MaxRing)
+	}
+	if c.MaxRing < c.MinRing {
+		return fmt.Errorf("scenario: MaxRing %d below MinRing %d", c.MaxRing, c.MinRing)
+	}
+	if c.MaxRobots < 3 {
+		return fmt.Errorf("scenario: MaxRobots %d below 3 (PEF_3+ samplers need three-robot teams)", c.MaxRobots)
+	}
+	return nil
+}
+
+// Generator is a named, seeded sampler over the scenario space. Sampling
+// is a pure function of the source stream: the same seed always yields the
+// same spec sequence, for any count, so campaigns are replayable from
+// (generator, seed, count) alone.
+type Generator struct {
+	// Name identifies the generator ("uniform", "boundary", "markov",
+	// "adversarial").
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// Sample draws the next spec from the stream.
+	Sample func(cfg GenConfig, src *prng.Source) Spec
+}
+
+// Generators returns the registry of scenario samplers in canonical order.
+func Generators() []Generator {
+	return []Generator{
+		{
+			Name:        "uniform",
+			Description: "uniform in-threshold sampling over every connected-over-time family",
+			Sample:      sampleUniform,
+		},
+		{
+			Name:        "boundary",
+			Description: "boundary-biased: threshold rings (n=2, n=3, n=k+1), under-threshold teams, theorem adversaries",
+			Sample:      sampleBoundary,
+		},
+		{
+			Name:        "markov",
+			Description: "bursty-link Markov dynamics across the up/down transition space",
+			Sample:      sampleMarkov,
+		},
+		{
+			Name:        "adversarial",
+			Description: "adaptive adversaries: budgeted pointed-edge stress and the confinement theorems",
+			Sample:      sampleAdversarial,
+		},
+	}
+}
+
+// NewGenerator returns the named generator.
+func NewGenerator(name string) (Generator, error) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	names := make([]string, 0, len(Generators()))
+	for _, g := range Generators() {
+		names = append(names, g.Name)
+	}
+	return Generator{}, fmt.Errorf("scenario: unknown generator %q (known: %v)", name, names)
+}
+
+// Generate draws count specs from the named generator under one seed.
+// Equal (name, cfg, seed, count) calls return identical spec slices, and a
+// longer stream extends a shorter one.
+func Generate(name string, cfg GenConfig, seed uint64, count int) ([]Spec, error) {
+	g, err := NewGenerator(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := prng.NewSource(seed)
+	specs := make([]Spec, count)
+	for i := range specs {
+		specs[i] = g.Sample(cfg, src)
+	}
+	return specs, nil
+}
+
+// intIn samples uniformly from [lo, hi].
+func intIn(src *prng.Source, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + src.Intn(hi-lo+1)
+}
+
+// probIn samples a probability from [lo, hi], quantized to exact
+// hundredths (one division, no accumulated float error) so spec IDs and
+// JSON stay compact.
+func probIn(src *prng.Source, lo, hi float64) float64 {
+	loSteps := int(lo*100 + 0.5)
+	steps := int((hi-lo)*100 + 0.5)
+	return float64(loSteps+src.Intn(steps+1)) / 100
+}
+
+// pick returns one of the options.
+func pick(src *prng.Source, options ...string) string {
+	return options[src.Intn(len(options))]
+}
+
+// cotFamilies is the oblivious connected-over-time family pool the
+// explore-expectation samplers draw from.
+var cotFamilies = []string{
+	"static", "bernoulli", "bounded", "t-interval",
+	"roving", "chain", "eventual-missing", "markov",
+}
+
+// cotParams samples a parameter point for the named oblivious family on an
+// n-node ring with the given horizon. The ranges are chosen so every
+// sampled workload stays connected-over-time with margins the paper's
+// algorithms handle on a 200·n horizon (validated by the oracle tests).
+func cotParams(src *prng.Source, family string, n, horizon int) Params {
+	switch family {
+	case "bernoulli":
+		return Params{P: probIn(src, 0.3, 0.95)}
+	case "bounded":
+		return Params{P: probIn(src, 0.05, 0.5), Delta: intIn(src, 1, 8)}
+	case "t-interval":
+		return Params{T: intIn(src, 1, 8)}
+	case "roving":
+		return Params{Period: intIn(src, 1, 6)}
+	case "chain":
+		return Params{Cut: intIn(src, 0, n-1), P: probIn(src, 0.5, 0.9), Delta: intIn(src, 2, 6)}
+	case "eventual-missing":
+		return Params{
+			Edge: intIn(src, 0, n-1), From: intIn(src, 0, horizon/4),
+			P: probIn(src, 0.5, 0.9), Delta: intIn(src, 2, 6),
+		}
+	case "markov":
+		return Params{Up: probIn(src, 0.2, 0.8), Down: probIn(src, 0.05, 0.6)}
+	}
+	return Params{} // static
+}
+
+// exploreHorizon is the standard horizon for explore-expectation runs:
+// 200·n as in the possibility experiments, floored for the small rings
+// whose dedicated algorithms need more rounds per node, and stretched for
+// loose recurrence bounds (matching the E-X2 horizon scaling).
+func exploreHorizon(n int, p Params) int {
+	h := 200 * n
+	if h < 1200 {
+		h = 1200
+	}
+	if min := 400 * p.Delta; h < min {
+		h = min
+	}
+	return h
+}
+
+// sampleUniform draws in-threshold scenarios uniformly: k >= 3 robots with
+// PEF_3+ on any ring that fits them, across the full oblivious family
+// space plus the budgeted pointed-edge adversary.
+func sampleUniform(cfg GenConfig, src *prng.Source) Spec {
+	lo := cfg.MinRing
+	if lo < 4 {
+		lo = 4
+	}
+	n := intIn(src, lo, cfg.MaxRing)
+	kHi := cfg.MaxRobots
+	if kHi > n-1 {
+		kHi = n - 1
+	}
+	k := intIn(src, 3, kHi)
+	family := pick(src, append(append([]string{}, cotFamilies...), FamilyBlockPointed)...)
+	var p Params
+	var horizon int
+	if family == FamilyBlockPointed {
+		p = Params{Budget: intIn(src, 1, 4)}
+		horizon = exploreHorizon(n, p)
+	} else {
+		horizon = exploreHorizon(n, Params{})
+		p = cotParams(src, family, n, horizon)
+		horizon = exploreHorizon(n, p)
+	}
+	s := Spec{
+		Version:   Version,
+		Ring:      n,
+		Robots:    k,
+		Algorithm: "pef3+",
+		Placement: pick(src, PlaceRandom, PlaceEven, PlaceAdjacent),
+		Family:    family,
+		Params:    p,
+		Horizon:   horizon,
+		Seed:      src.Uint64(),
+	}
+	s.Expect = Expectation(s)
+	return s
+}
+
+// sampleBoundary draws from the computability boundary of Table 1: the
+// minimal rings of PEF_1 and PEF_2, minimal-margin PEF_3+ teams (n = k+1),
+// the confinement theorems, and under-threshold teams on oblivious
+// dynamics (where the paper makes no claim and the oracle only measures).
+func sampleBoundary(cfg GenConfig, src *prng.Source) Spec {
+	var s Spec
+	switch src.Intn(6) {
+	case 0: // PEF_1 on the 2-node ring
+		family := pick(src, cotFamilies...)
+		horizon := exploreHorizon(2, Params{})
+		p := cotParams(src, family, 2, horizon)
+		s = Spec{Ring: 2, Robots: 1, Algorithm: "pef1", Family: family, Params: p, Horizon: exploreHorizon(2, p)}
+	case 1: // PEF_2 on the 3-node ring
+		family := pick(src, cotFamilies...)
+		horizon := exploreHorizon(3, Params{})
+		p := cotParams(src, family, 3, horizon)
+		s = Spec{Ring: 3, Robots: 2, Algorithm: "pef2", Family: family, Params: p, Horizon: exploreHorizon(3, p)}
+	case 2: // minimal-margin PEF_3+: n = k+1
+		kHi := cfg.MaxRobots
+		if kHi > cfg.MaxRing-1 {
+			kHi = cfg.MaxRing - 1
+		}
+		k := intIn(src, 3, kHi)
+		n := k + 1
+		family := pick(src, cotFamilies...)
+		horizon := exploreHorizon(n, Params{})
+		p := cotParams(src, family, n, horizon)
+		s = Spec{Ring: n, Robots: k, Algorithm: "pef3+", Family: family, Params: p, Horizon: exploreHorizon(n, p)}
+	case 3: // Theorem 5.1 confinement of any single robot
+		n := intIn(src, 3, cfg.MaxRing)
+		s = Spec{Ring: n, Robots: 1, Algorithm: pickVictim(src), Family: FamilyConfineOne, Horizon: 64 * n}
+	case 4: // Theorem 4.1 confinement of any two robots
+		n := intIn(src, 4, cfg.MaxRing)
+		s = Spec{Ring: n, Robots: 2, Algorithm: pickVictim(src), Family: FamilyConfineTwo, Horizon: 64 * n}
+	default: // under-threshold team on oblivious dynamics: no paper claim
+		k := intIn(src, 1, 2)
+		n := intIn(src, k+2, cfg.MaxRing)
+		if n < 4 {
+			n = 4
+		}
+		horizon := exploreHorizon(n, Params{})
+		s = Spec{Ring: n, Robots: k, Algorithm: "pef3+", Family: "bernoulli", Params: cotParams(src, "bernoulli", n, horizon), Horizon: horizon}
+	}
+	s.Version = Version
+	if s.Placement == "" {
+		s.Placement = pick(src, PlaceRandom, PlaceEven, PlaceAdjacent)
+	}
+	s.Seed = src.Uint64()
+	s.Expect = Expectation(s)
+	return s
+}
+
+// pickVictim samples an algorithm for the universally-quantified
+// confinement theorems: any deterministic algorithm must stay confined.
+func pickVictim(src *prng.Source) string {
+	names := AlgorithmNames()
+	return names[src.Intn(len(names))]
+}
+
+// sampleMarkov draws in-threshold scenarios whose dynamics is the bursty
+// two-state Markov link model, sweeping the (up, down) transition space.
+func sampleMarkov(cfg GenConfig, src *prng.Source) Spec {
+	lo := cfg.MinRing
+	if lo < 4 {
+		lo = 4
+	}
+	n := intIn(src, lo, cfg.MaxRing)
+	kHi := cfg.MaxRobots
+	if kHi > n-1 {
+		kHi = n - 1
+	}
+	horizon := exploreHorizon(n, Params{})
+	s := Spec{
+		Version:   Version,
+		Ring:      n,
+		Robots:    intIn(src, 3, kHi),
+		Algorithm: "pef3+",
+		Placement: pick(src, PlaceRandom, PlaceEven, PlaceAdjacent),
+		Family:    "markov",
+		Params:    cotParams(src, "markov", n, horizon),
+		Horizon:   horizon,
+		Seed:      src.Uint64(),
+	}
+	s.Expect = Expectation(s)
+	return s
+}
+
+// sampleAdversarial draws adaptive-adversary scenarios: the budgeted
+// pointed-edge stress adversary against full teams (which must still
+// explore) and the confinement theorems against sampled victims (which
+// must stay confined).
+func sampleAdversarial(cfg GenConfig, src *prng.Source) Spec {
+	var s Spec
+	switch src.Intn(3) {
+	case 0: // block-pointed stress: exploration must survive
+		lo := cfg.MinRing
+		if lo < 4 {
+			lo = 4
+		}
+		n := intIn(src, lo, cfg.MaxRing)
+		kHi := cfg.MaxRobots
+		if kHi > n-1 {
+			kHi = n - 1
+		}
+		s = Spec{
+			Ring: n, Robots: intIn(src, 3, kHi), Algorithm: "pef3+",
+			Placement: pick(src, PlaceRandom, PlaceEven, PlaceAdjacent),
+			Family:    FamilyBlockPointed, Params: Params{Budget: intIn(src, 1, 4)},
+			Horizon: exploreHorizon(n, Params{}),
+		}
+	case 1: // Theorem 5.1
+		n := intIn(src, 3, cfg.MaxRing)
+		s = Spec{Ring: n, Robots: 1, Algorithm: pickVictim(src), Placement: PlaceRandom, Family: FamilyConfineOne, Horizon: 64 * n}
+	default: // Theorem 4.1
+		n := intIn(src, 4, cfg.MaxRing)
+		s = Spec{Ring: n, Robots: 2, Algorithm: pickVictim(src), Placement: PlaceRandom, Family: FamilyConfineTwo, Horizon: 64 * n}
+	}
+	s.Version = Version
+	s.Seed = src.Uint64()
+	s.Expect = Expectation(s)
+	return s
+}

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"pef/internal/adversary"
+	"pef/internal/baseline"
+	"pef/internal/core"
+	"pef/internal/dynamics"
+	"pef/internal/fsync"
+	"pef/internal/prng"
+	"pef/internal/robot"
+	"pef/internal/spec"
+)
+
+// Verdict is the oracle's structured outcome for one spec: the expectation
+// it enforced, what actually happened, scalar metrics, and — when the
+// paper's predicate failed — a violation message. A Verdict with OK=false
+// is a counterexample candidate against the paper (or, far more likely, a
+// bug in the reproduction); campaigns treat any of them as failures.
+type Verdict struct {
+	// ID is the spec's canonical identifier.
+	ID string `json:"id"`
+	// Spec is the scenario that ran.
+	Spec Spec `json:"spec"`
+	// Expect is the enforced expectation (never empty: derived via
+	// Expectation when the spec leaves it open).
+	Expect string `json:"expect"`
+	// Outcome summarizes the run: "explored", "partial", "confined",
+	// "escaped", or "error".
+	Outcome string `json:"outcome"`
+	// OK reports that the expectation holds (vacuously true for
+	// ExpectNone).
+	OK bool `json:"ok"`
+	// Covered, CoverTime and MaxGap are the exploration metrics of the
+	// run (CoverTime is -1 when the ring was never fully covered).
+	Covered   int `json:"covered"`
+	CoverTime int `json:"coverTime"`
+	MaxGap    int `json:"maxGap"`
+	// Distinct is the number of distinct nodes ever visited (the
+	// quantity the confinement theorems bound).
+	Distinct int `json:"distinct"`
+	// Violation explains a failed predicate.
+	Violation string `json:"violation,omitempty"`
+	// Err reports an execution error or recovered panic.
+	Err string `json:"error,omitempty"`
+}
+
+// algorithmPool is the scenario subsystem's own name→algorithm table,
+// built once: the paper's algorithms, their ablations, and the baseline
+// suite. It deliberately bypasses the global registry (campaign workers
+// must not race on registration), and every entry is a stateless factory
+// (fresh cores come from NewCore), so sharing the values across workers
+// is safe.
+var algorithmPool = sync.OnceValues(func() ([]string, map[string]robot.Algorithm) {
+	algs := []robot.Algorithm{
+		core.PEF3Plus{}, core.PEF2{}, core.PEF1{},
+		core.NoRule2{}, core.NoRule3{},
+	}
+	algs = append(algs, baseline.Suite()...)
+	names := make([]string, len(algs))
+	byName := make(map[string]robot.Algorithm, len(algs))
+	for i, alg := range algs {
+		names[i] = alg.Name()
+		byName[alg.Name()] = alg
+	}
+	return names, byName
+})
+
+// resolveAlgorithm instantiates a robot algorithm by name.
+func resolveAlgorithm(name string) (robot.Algorithm, error) {
+	_, byName := algorithmPool()
+	if alg, ok := byName[name]; ok {
+		return alg, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown algorithm %q", name)
+}
+
+// AlgorithmNames lists every algorithm name a Spec may reference, in
+// canonical order.
+func AlgorithmNames() []string {
+	names, _ := algorithmPool()
+	return append([]string(nil), names...)
+}
+
+// placements realizes the spec's placement policy. The confinement
+// adversaries require their proof's initial configuration (robots on nodes
+// 0 and 1, mirrored chiralities), so they override the policy.
+func placements(s Spec) []fsync.Placement {
+	switch s.Family {
+	case FamilyConfineOne:
+		return []fsync.Placement{{Node: 0, Chirality: robot.RightIsCW}}
+	case FamilyConfineTwo:
+		return []fsync.Placement{
+			{Node: 0, Chirality: robot.RightIsCW},
+			{Node: 1, Chirality: robot.RightIsCCW},
+		}
+	}
+	switch s.Placement {
+	case PlaceEven:
+		return fsync.EvenPlacements(s.Ring, s.Robots)
+	case PlaceAdjacent:
+		return fsync.AdjacentPlacements(s.Ring, s.Robots, 0)
+	default:
+		return fsync.RandomPlacements(s.Ring, s.Robots, prng.NewSource(s.Seed))
+	}
+}
+
+// buildDynamics realizes the spec's dynamics family.
+func buildDynamics(s Spec) (fsync.Dynamics, error) {
+	switch s.Family {
+	case FamilyBlockPointed:
+		return adversary.NewBlockPointed(s.Ring, s.Params.Budget), nil
+	case FamilyConfineOne:
+		return adversary.NewOneRobotConfinement(s.Ring, 0, 0), nil
+	case FamilyConfineTwo:
+		return adversary.NewTwoRobotConfinement(s.Ring, 0, 0, 1), nil
+	}
+	fp := dynamics.FamilyParams{
+		P: s.Params.P, Up: s.Params.Up, Down: s.Params.Down,
+		Delta: s.Params.Delta, Edge: s.Params.Edge, From: s.Params.From,
+		Period: s.Params.Period, T: s.Params.T, Cut: s.Params.Cut,
+		// Materialized families (markov) record exactly the horizon the
+		// run needs.
+		Horizon: s.Horizon,
+	}
+	wl, err := dynamics.Family(s.Family, fp)
+	if err != nil {
+		return nil, err
+	}
+	return fsync.Oblivious{G: wl.Build(s.Ring, s.Seed)}, nil
+}
+
+// confineLimit returns the confinement bound a theorem adversary enforces.
+func confineLimit(family string) int {
+	if family == FamilyConfineOne {
+		return 2 // Theorem 5.1: one robot visits at most two nodes
+	}
+	return 3 // Theorem 4.1: two robots visit at most three nodes
+}
+
+// Run executes the spec and checks the paper's predicate. It never
+// panics: invalid specs and diverging runs come back as error verdicts,
+// so one bad sample cannot take down a million-scenario campaign.
+func Run(s Spec) (v Verdict) {
+	v = Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, CoverTime: -1, Outcome: "error"}
+	if v.Expect == "" {
+		v.Expect = Expectation(s)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			v.Err = fmt.Sprintf("panic: %v", r)
+			v.Outcome = "error"
+			v.OK = false
+		}
+	}()
+	if err := s.Validate(); err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	alg, err := resolveAlgorithm(s.Algorithm)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	dyn, err := buildDynamics(s)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	vt := spec.NewVisitTracker(s.Ring)
+	ct := spec.NewConfinementTracker()
+	sim, err := fsync.New(fsync.Config{
+		Algorithm:  alg,
+		Dynamics:   dyn,
+		Placements: placements(s),
+		Observers:  []fsync.Observer{vt, ct},
+	})
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	sim.Run(s.Horizon)
+	rep := vt.Report()
+	v.Covered, v.CoverTime, v.MaxGap = rep.Covered, rep.CoverTime, rep.MaxGap
+	v.Distinct = ct.Distinct()
+
+	exploreMsg := rep.ExploreViolation(2, s.Horizon/2)
+	v.Outcome = "partial"
+	if exploreMsg == "" {
+		v.Outcome = "explored"
+	}
+
+	switch v.Expect {
+	case ExpectExplore:
+		if exploreMsg != "" {
+			v.Violation = exploreMsg
+			v.OK = false
+			return v
+		}
+		v.OK = true
+	case ExpectConfine:
+		limit := confineLimit(s.Family)
+		if v.Distinct <= limit {
+			v.Outcome = "confined"
+			v.OK = true
+		} else {
+			v.Outcome = "escaped"
+			v.Violation = fmt.Sprintf("visited %d distinct nodes, theorem bound is %d", v.Distinct, limit)
+			v.OK = false
+		}
+	default: // ExpectNone: informational
+		v.OK = true
+	}
+	return v
+}

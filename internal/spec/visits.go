@@ -139,6 +139,35 @@ func (r ExplorationReport) PerpetuallyExplored(gapBound int) bool {
 	return r.Covered == r.Nodes && r.CoverTime >= 0 && r.MaxGap <= gapBound
 }
 
+// MinVisits returns the smallest per-node visit count.
+func (r ExplorationReport) MinVisits() int {
+	min := r.Horizon
+	for _, v := range r.Visits {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// ExploreViolation is the message-producing form of the full acceptance
+// criterion shared by the possibility experiments and the scenario oracle:
+// full coverage, every node visited at least minVisits times (the ring
+// keeps being re-explored), and every revisit gap at most gapBound. It
+// describes the first failure, or returns "" when the criterion holds.
+func (r ExplorationReport) ExploreViolation(minVisits, gapBound int) string {
+	if r.Covered != r.Nodes || r.CoverTime < 0 {
+		return fmt.Sprintf("covered %d/%d nodes", r.Covered, r.Nodes)
+	}
+	if mv := r.MinVisits(); mv < minVisits {
+		return fmt.Sprintf("a node was visited only %d time(s); the ring is not being re-explored", mv)
+	}
+	if r.MaxGap > gapBound {
+		return fmt.Sprintf("max revisit gap %d exceeds bound %d (node %d)", r.MaxGap, gapBound, r.WorstNode)
+	}
+	return ""
+}
+
 // String implements fmt.Stringer.
 func (r ExplorationReport) String() string {
 	return fmt.Sprintf("explored %d/%d nodes, cover=%d, maxGap=%d (node %d), horizon=%d",

@@ -15,7 +15,11 @@
 //     adaptive dynamics,
 //   - one-call exploration and confinement runs with verdict reports,
 //   - the experiment harness regenerating every table and figure of the
-//     paper (see EXPERIMENTS.md).
+//     paper (see EXPERIMENTS.md),
+//   - the scenario subsystem: declarative scenario specs, seeded random
+//     generators over the full parameter space, and a property oracle
+//     checking the paper's predicates over sharded campaigns of generated
+//     scenarios (see SCENARIOS.md).
 //
 // Quick start:
 //
@@ -31,6 +35,7 @@
 package pef
 
 import (
+	"context"
 	"fmt"
 
 	"pef/internal/adversary"
@@ -41,6 +46,7 @@ import (
 	"pef/internal/fsync"
 	"pef/internal/prng"
 	"pef/internal/robot"
+	"pef/internal/scenario"
 	"pef/internal/spec"
 )
 
@@ -247,3 +253,64 @@ func Algorithms() []string { return robot.Names() }
 
 // NewAlgorithm instantiates a registered algorithm by name.
 func NewAlgorithm(name string) (Algorithm, error) { return robot.New(name) }
+
+// Scenario is a declarative scenario specification: ring size, team,
+// algorithm, placement policy, dynamics family with parameters, horizon
+// and seed, with a deterministic JSON encoding (Encode/DecodeScenario) and
+// a canonical string ID. Running the same Scenario always replays the same
+// execution bit for bit.
+type Scenario = scenario.Spec
+
+// ScenarioParams is the dynamics parameter bag of a Scenario.
+type ScenarioParams = scenario.Params
+
+// ScenarioVerdict is the property oracle's structured outcome for one
+// scenario: the enforced expectation, the observed outcome, scalar metrics
+// (cover time, max revisit gap, distinct nodes visited), and a violation
+// message when the paper's predicate failed.
+type ScenarioVerdict = scenario.Verdict
+
+// GenConfig bounds the scenario generators' sampled parameter space.
+type GenConfig = scenario.GenConfig
+
+// CampaignConfig parameterizes a generated-scenario sweep, and Campaign is
+// its completed result; see RunCampaign.
+type (
+	CampaignConfig = scenario.CampaignConfig
+	Campaign       = scenario.Campaign
+)
+
+// DecodeScenario parses and validates a deterministic-JSON scenario.
+func DecodeScenario(data []byte) (Scenario, error) { return scenario.DecodeSpec(data) }
+
+// ScenarioGenerators lists the registered scenario generator families
+// ("uniform", "boundary", "markov", "adversarial").
+func ScenarioGenerators() []string {
+	gens := scenario.Generators()
+	names := make([]string, len(gens))
+	for i, g := range gens {
+		names[i] = g.Name
+	}
+	return names
+}
+
+// GenerateScenarios draws count scenario specs from the named generator
+// family under one seed. Equal arguments always return identical specs,
+// and a longer stream extends a shorter one.
+func GenerateScenarios(family string, cfg GenConfig, seed uint64, count int) ([]Scenario, error) {
+	return scenario.Generate(family, cfg, seed, count)
+}
+
+// RunScenario executes one scenario and checks the paper's predicate for
+// it: exploration where Table 1 says possible, confinement under the
+// impossibility adversaries. It never panics; failures come back as error
+// verdicts.
+func RunScenario(s Scenario) ScenarioVerdict { return scenario.Run(s) }
+
+// RunCampaign generates Count scenarios per seed from the configured
+// generator and shards them across a worker pool, checking every one
+// against the property oracle. Campaign reports (WriteReport, WriteJSON)
+// are byte-identical for any worker count.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
+	return scenario.RunCampaign(ctx, cfg)
+}
