@@ -1,0 +1,284 @@
+// Command pefbenchdiff compares two BENCH_*.json trajectories (as emitted
+// by pefexperiments -json) and prints a regression/improvement table: the
+// per-experiment pass rates, the scalar aggregates (cover times, revisit
+// gaps, …), and — when both files carry -timings data — the per-experiment
+// wall times. It is the trend-diff half of the bench-trajectory loop: CI
+// regenerates the current trajectory and diffs it against the committed
+// previous one.
+//
+//	pefbenchdiff BENCH_0002.json BENCH_0003.json
+//	pefbenchdiff -fail-on-regress 0.0 OLD.json NEW.json
+//
+// Flags:
+//
+//	-fail-on-regress f   exit non-zero when any experiment's pass rate
+//	                     drops by more than f (a fraction in [0, 1]), or
+//	                     when wall times are present in both files and an
+//	                     experiment slows down by more than fraction f.
+//	                     Negative values (the default) disable the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"pef/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pefbenchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// benchJob mirrors the per-job fields pefbenchdiff consumes from a
+// pefexperiments -json document.
+type benchJob struct {
+	ID     string  `json:"id"`
+	Seed   uint64  `json:"seed"`
+	Pass   bool    `json:"pass"`
+	Millis float64 `json:"millis"`
+}
+
+// benchFile mirrors the top-level trajectory document.
+type benchFile struct {
+	Seeds    []uint64            `json:"seeds"`
+	Quick    bool                `json:"quick"`
+	Jobs     []benchJob          `json:"jobs"`
+	Passes   int                 `json:"passes"`
+	Total    int                 `json:"total"`
+	PassRate float64             `json:"passRate"`
+	Scalars  []metrics.ScalarRow `json:"scalars"`
+}
+
+// expStats is one experiment's aggregate within a trajectory.
+type expStats struct {
+	jobs   int
+	passes int
+	millis float64 // summed wall time; 0 means "no timings recorded"
+}
+
+func (e expStats) passRate() float64 {
+	if e.jobs == 0 {
+		return 0
+	}
+	return float64(e.passes) / float64(e.jobs)
+}
+
+// aggregate folds a trajectory's job list per experiment, preserving
+// first-seen experiment order.
+func aggregate(f benchFile) (order []string, stats map[string]expStats) {
+	stats = make(map[string]expStats)
+	for _, j := range f.Jobs {
+		s, ok := stats[j.ID]
+		if !ok {
+			order = append(order, j.ID)
+		}
+		s.jobs++
+		if j.Pass {
+			s.passes++
+		}
+		s.millis += j.Millis
+		stats[j.ID] = s
+	}
+	return order, stats
+}
+
+// load parses one trajectory file.
+func load(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(f.Jobs) == 0 {
+		return f, fmt.Errorf("%s carries no jobs", path)
+	}
+	return f, nil
+}
+
+// mergedOrder returns oldOrder followed by the experiments that only the
+// new trajectory has, so rows render in a stable, reviewable order.
+func mergedOrder(oldOrder, newOrder []string, oldStats map[string]expStats) []string {
+	out := append([]string(nil), oldOrder...)
+	for _, id := range newOrder {
+		if _, ok := oldStats[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pefbenchdiff", flag.ContinueOnError)
+	failOn := fs.Float64("fail-on-regress", -1,
+		"fail when a pass rate drops, or a wall time grows, by more than this fraction (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: pefbenchdiff [-fail-on-regress f] OLD.json NEW.json")
+	}
+	oldF, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newF, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	oldOrder, oldStats := aggregate(oldF)
+	newOrder, newStats := aggregate(newF)
+	order := mergedOrder(oldOrder, newOrder, oldStats)
+
+	fmt.Fprintf(stdout, "# Bench trajectory diff: %s → %s\n\n", fs.Arg(0), fs.Arg(1))
+	fmt.Fprintf(stdout, "old: %d jobs over %d seeds (quick=%t), pass rate %s\n",
+		oldF.Total, len(oldF.Seeds), oldF.Quick, pct(oldF.PassRate))
+	fmt.Fprintf(stdout, "new: %d jobs over %d seeds (quick=%t), pass rate %s\n",
+		newF.Total, len(newF.Seeds), newF.Quick, pct(newF.PassRate))
+
+	var regressions []string
+
+	// Per-experiment pass rates.
+	fmt.Fprintf(stdout, "\n## Pass rates\n\n")
+	pt := metrics.NewTable("experiment", "old", "new", "delta", "flag")
+	for _, id := range order {
+		o, hasOld := oldStats[id]
+		n, hasNew := newStats[id]
+		switch {
+		case !hasNew:
+			pt.AddRow(id, pct(o.passRate()), "-", "-", "gone")
+		case !hasOld:
+			pt.AddRow(id, "-", pct(n.passRate()), "-", "new")
+		default:
+			delta := n.passRate() - o.passRate()
+			flag := "="
+			if delta < 0 {
+				flag = "REGRESS"
+				if *failOn >= 0 && -delta > *failOn {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: pass rate %s → %s", id, pct(o.passRate()), pct(n.passRate())))
+				}
+			} else if delta > 0 {
+				flag = "improve"
+			}
+			pt.AddRow(id, pct(o.passRate()), pct(n.passRate()), fmt.Sprintf("%+.1f%%", 100*delta), flag)
+		}
+	}
+	if err := pt.Render(stdout); err != nil {
+		return err
+	}
+
+	// Per-experiment wall times, when both trajectories carry timings.
+	if oldHasTimings(oldStats) && oldHasTimings(newStats) {
+		fmt.Fprintf(stdout, "\n## Wall time (ms per experiment, summed over seeds)\n\n")
+		wt := metrics.NewTable("experiment", "old ms", "new ms", "ratio", "flag")
+		for _, id := range order {
+			o, hasOld := oldStats[id]
+			n, hasNew := newStats[id]
+			if !hasOld || !hasNew || o.millis == 0 {
+				continue
+			}
+			ratio := n.millis / o.millis
+			flag := "="
+			if ratio > 1.05 {
+				flag = "slower"
+			} else if ratio < 0.95 {
+				flag = "faster"
+			}
+			// The gate is independent of the 5% display bands: any
+			// threshold the flag sets is honored, even below 0.05.
+			if *failOn >= 0 && ratio > 1+*failOn {
+				flag = "REGRESS"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: wall time %.0fms → %.0fms (%.2fx)", id, o.millis, n.millis, ratio))
+			}
+			wt.AddRow(id, fmt.Sprintf("%.0f", o.millis), fmt.Sprintf("%.0f", n.millis),
+				fmt.Sprintf("%.2fx", ratio), flag)
+		}
+		if err := wt.Render(stdout); err != nil {
+			return err
+		}
+	}
+
+	// Scalar aggregates joined on (experiment, metric).
+	if len(oldF.Scalars) > 0 || len(newF.Scalars) > 0 {
+		fmt.Fprintf(stdout, "\n## Scalar aggregates (mean)\n\n")
+		type key struct{ id, metric string }
+		oldScalars := make(map[key]metrics.ScalarRow, len(oldF.Scalars))
+		for _, r := range oldF.Scalars {
+			oldScalars[key{r.ID, r.Metric}] = r
+		}
+		newScalars := make(map[key]metrics.ScalarRow, len(newF.Scalars))
+		for _, r := range newF.Scalars {
+			newScalars[key{r.ID, r.Metric}] = r
+		}
+		st := metrics.NewTable("experiment", "metric", "old mean", "new mean", "delta")
+		emit := func(r metrics.ScalarRow) {
+			k := key{r.ID, r.Metric}
+			o, hasOld := oldScalars[k]
+			n, hasNew := newScalars[k]
+			switch {
+			case !hasNew:
+				st.AddRow(r.ID, r.Metric, fmt.Sprintf("%.1f", o.Mean), "-", "gone")
+			case !hasOld:
+				st.AddRow(r.ID, r.Metric, "-", fmt.Sprintf("%.1f", n.Mean), "new")
+			default:
+				st.AddRow(r.ID, r.Metric, fmt.Sprintf("%.1f", o.Mean), fmt.Sprintf("%.1f", n.Mean),
+					fmt.Sprintf("%+.1f", n.Mean-o.Mean))
+			}
+		}
+		seen := make(map[key]bool)
+		for _, r := range oldF.Scalars {
+			seen[key{r.ID, r.Metric}] = true
+			emit(r)
+		}
+		for _, r := range newF.Scalars {
+			if !seen[key{r.ID, r.Metric}] {
+				emit(r)
+			}
+		}
+		if err := st.Render(stdout); err != nil {
+			return err
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(stdout, "\n---\n%d regression(s) beyond threshold %.2f:\n", len(regressions), *failOn)
+		for _, r := range regressions {
+			fmt.Fprintf(stdout, "- %s\n", r)
+		}
+		return fmt.Errorf("%d regression(s) beyond threshold %v", len(regressions), *failOn)
+	}
+	fmt.Fprintf(stdout, "\n---\nno regressions%s.\n", gateSuffix(*failOn))
+	return nil
+}
+
+// oldHasTimings reports whether any experiment recorded a wall time.
+func oldHasTimings(stats map[string]expStats) bool {
+	for _, s := range stats {
+		if s.millis > 0 && !math.IsNaN(s.millis) {
+			return true
+		}
+	}
+	return false
+}
+
+// gateSuffix annotates the verdict with the active gate, if any.
+func gateSuffix(failOn float64) string {
+	if failOn < 0 {
+		return " (gate disabled)"
+	}
+	return fmt.Sprintf(" beyond threshold %.2f", failOn)
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a trajectory JSON into dir and returns its path.
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const oldDoc = `{
+  "seeds": [1, 2],
+  "quick": false,
+  "jobs": [
+    {"id": "E-A", "seed": 1, "pass": true, "millis": 100},
+    {"id": "E-A", "seed": 2, "pass": true, "millis": 100},
+    {"id": "E-B", "seed": 1, "pass": true, "millis": 50},
+    {"id": "E-B", "seed": 2, "pass": false, "millis": 50},
+    {"id": "E-GONE", "seed": 1, "pass": true, "millis": 10}
+  ],
+  "passes": 4, "total": 5, "passRate": 0.8,
+  "scalars": [
+    {"id": "E-A", "metric": "cover", "count": 2, "min": 1, "mean": 4.0, "median": 4.0, "max": 7}
+  ]
+}`
+
+const newDoc = `{
+  "seeds": [1, 2],
+  "quick": false,
+  "jobs": [
+    {"id": "E-A", "seed": 1, "pass": true, "millis": 40},
+    {"id": "E-A", "seed": 2, "pass": false, "millis": 40},
+    {"id": "E-B", "seed": 1, "pass": true, "millis": 200},
+    {"id": "E-B", "seed": 2, "pass": true, "millis": 200},
+    {"id": "E-NEW", "seed": 1, "pass": true, "millis": 10}
+  ],
+  "passes": 4, "total": 5, "passRate": 0.8,
+  "scalars": [
+    {"id": "E-A", "metric": "cover", "count": 2, "min": 2, "mean": 6.0, "median": 6.0, "max": 9}
+  ]
+}`
+
+func TestDiffTableAndVerdict(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", oldDoc)
+	newP := write(t, dir, "new.json", newDoc)
+
+	var b strings.Builder
+	if err := run([]string{oldP, newP}, &b); err != nil {
+		t.Fatalf("ungated diff failed: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"E-A", "REGRESS", // pass rate 100% -> 50%
+		"improve",     // E-B 50% -> 100%
+		"gone", "new", // asymmetric experiments flagged, not failed
+		"faster",        // E-A wall time 200 -> 80
+		"slower",        // E-B wall time 100 -> 400
+		"cover", "+2.0", // scalar mean delta
+		"no regressions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFailOnRegressGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", oldDoc)
+	newP := write(t, dir, "new.json", newDoc)
+
+	var b strings.Builder
+	err := run([]string{"-fail-on-regress", "0.1", oldP, newP}, &b)
+	if err == nil {
+		t.Fatal("gate accepted a 50-point pass-rate drop and a 4x slowdown")
+	}
+	out := b.String()
+	if !strings.Contains(out, "E-A: pass rate") || !strings.Contains(out, "E-B: wall time") {
+		t.Fatalf("gate did not name both regressions:\n%s", out)
+	}
+}
+
+func TestIdenticalTrajectoriesPass(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", oldDoc)
+	newP := write(t, dir, "new.json", oldDoc)
+	var b strings.Builder
+	if err := run([]string{"-fail-on-regress", "0", oldP, newP}, &b); err != nil {
+		t.Fatalf("identical trajectories reported a regression: %v\n%s", err, b.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"one.json"}, &b); err == nil {
+		t.Fatal("single argument accepted")
+	}
+	if err := run([]string{"missing-a.json", "missing-b.json"}, &b); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

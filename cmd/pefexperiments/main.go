@@ -18,6 +18,8 @@
 //	-workers M  worker pool size; <1 means GOMAXPROCS. Output is
 //	            byte-identical for any worker count.
 //	-json       emit the sweep as JSON (for BENCH_*.json trajectories)
+//	-timings    add per-job wall times to -json output (non-deterministic;
+//	            feeds pefbenchdiff's wall-time comparison)
 //	-only ID    restrict to a single experiment (combines with -seeds)
 //	-shard      split heavy ring-size sweeps into per-ring-size jobs, so
 //	            a single experiment no longer serializes on one worker
@@ -54,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		seeds   = fs.Int("seeds", 1, "number of consecutive seeds to sweep, starting at -seed")
 		workers = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
 		jsonOut = fs.Bool("json", false, "emit the sweep as JSON")
+		timings = fs.Bool("timings", false, "include per-job wall times in -json output (non-deterministic; for pefbenchdiff)")
 		quick   = fs.Bool("quick", false, "reduced horizons and sweeps")
 		shard   = fs.Bool("shard", false, "split heavy ring-size sweeps into per-ring-size jobs")
 		only    = fs.String("only", "", "run a single experiment by ID (e.g. E-F2)")
@@ -91,7 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if eerr := writeJSON(stdout, sweep, *quick, jobs); eerr != nil {
+		if eerr := writeJSON(stdout, sweep, *quick, *timings, jobs); eerr != nil {
 			return eerr
 		}
 	case *seeds == 1:
@@ -150,6 +153,10 @@ type jsonJob struct {
 	Error    string   `json:"error,omitempty"`
 	Notes    []string `json:"notes,omitempty"`
 	Table    string   `json:"table,omitempty"`
+	// Millis is the job's wall time, present only under -timings: the
+	// committed BENCH_*.json trajectories stay byte-deterministic, while
+	// timing-enabled captures feed pefbenchdiff's wall-time comparison.
+	Millis float64 `json:"millis,omitempty"`
 }
 
 // jsonReport is the top-level -json document. It deliberately omits the
@@ -164,7 +171,7 @@ type jsonReport struct {
 	Scalars  []metrics.ScalarRow `json:"scalars,omitempty"`
 }
 
-func writeJSON(w io.Writer, seeds []uint64, quick bool, jobs []harness.JobResult) error {
+func writeJSON(w io.Writer, seeds []uint64, quick, timings bool, jobs []harness.JobResult) error {
 	rep := jsonReport{Seeds: seeds, Quick: quick, Total: len(jobs)}
 	rep.Scalars = harness.SweepAggregate(jobs).ScalarRows()
 	for _, j := range jobs {
@@ -175,6 +182,9 @@ func writeJSON(w io.Writer, seeds []uint64, quick bool, jobs []harness.JobResult
 			Artifact: j.Result.Artifact,
 			Pass:     j.Passed(),
 			Notes:    j.Result.Notes,
+		}
+		if timings {
+			jj.Millis = float64(j.Elapsed.Microseconds()) / 1000
 		}
 		if j.Err != nil {
 			jj.Error = j.Err.Error()

@@ -34,7 +34,7 @@ type MirrorInput struct {
 	Chir        robot.Chirality
 	G           dyngraph.EvolvingGraph
 	Traj        []int
-	States      []string
+	States      []robot.StateCode
 	StallTime   int
 	MissingSide ring.Direction
 }

@@ -125,8 +125,8 @@ func (c *pendulumCore) Compute(view robot.View) {
 	}
 }
 
-func (c *pendulumCore) State() string {
-	return fmt.Sprintf("dir=%s,done=%d/%d", c.dir, c.done, c.sweep)
+func (c *pendulumCore) State() robot.StateCode {
+	return robot.SweepState(c.dir, c.done, c.sweep)
 }
 
 // DoublingZigzag sweeps 1 step, turns, sweeps 2, turns, sweeps 4, ... —
@@ -167,8 +167,8 @@ func (c *zigzagCore) Compute(view robot.View) {
 	}
 }
 
-func (c *zigzagCore) State() string {
-	return fmt.Sprintf("dir=%s,done=%d/%d", c.dir, c.done, c.sweep)
+func (c *zigzagCore) State() robot.StateCode {
+	return robot.SweepState(c.dir, c.done, c.sweep)
 }
 
 // LCGWalker chooses its direction each round from a deterministic linear
@@ -204,8 +204,8 @@ func (c *lcgCore) Compute(_ robot.View) {
 	}
 }
 
-func (c *lcgCore) State() string {
-	return fmt.Sprintf("dir=%s,lcg=%d", c.dir, c.state)
+func (c *lcgCore) State() robot.StateCode {
+	return robot.LCGState(c.dir, c.state)
 }
 
 // Oscillator flips direction every round, a pathological but legal member

@@ -20,7 +20,7 @@ func TestSuiteDistinctNamesAndFreshCores(t *testing.T) {
 		if a.Dir() != robot.Left {
 			t.Fatalf("%s: initial dir not Left", alg.Name())
 		}
-		if a.State() == "" {
+		if a.State().String() == "" {
 			t.Fatalf("%s: empty state encoding", alg.Name())
 		}
 	}

@@ -71,7 +71,7 @@ func TestPEF3PlusComputeTable(t *testing.T) {
 				if core.Dir() != s.wantDir {
 					t.Fatalf("step %d: dir = %v, want %v", i, core.Dir(), s.wantDir)
 				}
-				if core.State() != s.wantState {
+				if core.State().String() != s.wantState {
 					t.Fatalf("step %d: state = %q, want %q", i, core.State(), s.wantState)
 				}
 			}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"pef/internal/robot"
 )
 
@@ -39,7 +37,7 @@ func (c *pef2Core) Compute(view robot.View) {
 	}
 }
 
-func (c *pef2Core) State() string { return fmt.Sprintf("dir=%s", c.dir) }
+func (c *pef2Core) State() robot.StateCode { return robot.DirState(c.dir) }
 
 var _ robot.Algorithm = PEF2{}
 
@@ -73,7 +71,7 @@ func (c *pef1Core) Compute(view robot.View) {
 	}
 }
 
-func (c *pef1Core) State() string { return fmt.Sprintf("dir=%s", c.dir) }
+func (c *pef1Core) State() robot.StateCode { return robot.DirState(c.dir) }
 
 var _ robot.Algorithm = PEF1{}
 

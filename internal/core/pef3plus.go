@@ -12,8 +12,6 @@
 package core
 
 import (
-	"fmt"
-
 	"pef/internal/robot"
 )
 
@@ -63,8 +61,8 @@ func (c *pef3Core) Compute(view robot.View) {
 	c.moved = view.ExistsEdge(look, c.dir)
 }
 
-func (c *pef3Core) State() string {
-	return fmt.Sprintf("dir=%s,moved=%t", c.dir, c.moved)
+func (c *pef3Core) State() robot.StateCode {
+	return robot.DirMovedState(c.dir, c.moved)
 }
 
 // verify interface compliance at compile time.

@@ -35,7 +35,7 @@ func TestStateEncodingsAreLocal(t *testing.T) {
 		c := alg.NewCore()
 		c.Compute(robot.View{EdgeDir: true})
 		for _, banned := range []string{"CW", "CCW", "clockwise"} {
-			if contains(c.State(), banned) {
+			if contains(c.State().String(), banned) {
 				t.Errorf("%s state %q leaks global direction", alg.Name(), c.State())
 			}
 		}
@@ -71,7 +71,7 @@ func TestPEF3PlusSequenceAgainstHandTrace(t *testing.T) {
 	}
 	for i, s := range steps {
 		c.Compute(s.view)
-		if c.State() != s.state {
+		if c.State().String() != s.state {
 			t.Fatalf("round %d: state %q, want %q", i, c.State(), s.state)
 		}
 	}

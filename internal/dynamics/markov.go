@@ -57,6 +57,94 @@ func GenerateMarkov(n int, up, down float64, seed uint64, horizon int) (*dyngrap
 	return rec, nil
 }
 
+// MarkovStream is the lazily generated counterpart of GenerateMarkov: the
+// same per-edge two-state chain driven by the same sequential PRNG walk —
+// presence sets are bit-identical to the materialized trace — but produced
+// forward on demand into a bounded sliding window. A campaign run over a
+// million-round horizon therefore holds O(window) edge sets instead of
+// O(horizon).
+//
+// Present may be queried at any instant from the retained window onwards
+// (the chain advances as needed); reading an instant that has slid out of
+// the window panics. Simulators only ever read the current instant, so
+// any window >= 1 serves them.
+type MarkovStream struct {
+	win      *dyngraph.Recorded
+	state    []bool
+	scratch  ring.EdgeSet
+	src      *prng.Source
+	up, down float64
+}
+
+// NewMarkovStream creates a streaming Markov dynamics over an n-node ring
+// retaining a window of the given size (values < 1 mean 1).
+func NewMarkovStream(n int, up, down float64, seed uint64, window int) (*MarkovStream, error) {
+	if up <= 0 || up > 1 || down < 0 || down > 1 {
+		return nil, fmt.Errorf("dynamics: Markov probabilities up=%v down=%v outside (0,1]/[0,1]", up, down)
+	}
+	if window < 1 {
+		window = 1
+	}
+	m := &MarkovStream{
+		win:     dyngraph.NewStreamingRecorded(n, window),
+		state:   make([]bool, n),
+		scratch: ring.NewEdgeSet(n),
+		src:     prng.NewSource(seed),
+		up:      up,
+		down:    down,
+	}
+	for e := range m.state {
+		m.state[e] = true
+	}
+	return m, nil
+}
+
+// advance generates instants until t is inside the window, replaying the
+// exact PRNG call order of GenerateMarkov.
+func (m *MarkovStream) advance(t int) {
+	for m.win.Horizon() <= t {
+		m.scratch.Clear()
+		for e, up := range m.state {
+			if up {
+				m.scratch.Add(e)
+			}
+		}
+		m.win.Append(m.scratch)
+		// Transition between instants: the state at t+1 derives from the
+		// state at t.
+		for e := range m.state {
+			if m.state[e] {
+				if m.src.Bool(m.down) {
+					m.state[e] = false
+				}
+			} else if m.src.Bool(m.up) {
+				m.state[e] = true
+			}
+		}
+	}
+}
+
+// Ring implements dyngraph.EvolvingGraph.
+func (m *MarkovStream) Ring() ring.Ring { return m.win.Ring() }
+
+// Present implements dyngraph.EvolvingGraph for instants inside or beyond
+// the current window (the chain advances forward as needed).
+func (m *MarkovStream) Present(e, t int) bool {
+	if t < 0 {
+		return false
+	}
+	m.advance(t)
+	return m.win.Present(e, t)
+}
+
+// EdgesAtInto implements dyngraph.InPlaceGraph.
+func (m *MarkovStream) EdgesAtInto(t int, dst *ring.EdgeSet) {
+	if t >= 0 {
+		m.advance(t)
+	}
+	m.win.EdgesAtInto(t, dst)
+}
+
 // MarkovSpec wraps GenerateMarkov as a workload Spec with the given
 // horizon; Build panics on invalid parameters (they are programmer-chosen
 // constants in the suites).

@@ -88,3 +88,46 @@ func TestMarkovSpec(t *testing.T) {
 		t.Fatal("empty spec name")
 	}
 }
+
+func TestMarkovStreamMatchesMaterialized(t *testing.T) {
+	const n, horizon = 6, 400
+	full, err := GenerateMarkov(n, 0.4, 0.25, 9, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewMarkovStream(n, 0.4, 0.25, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward access (the simulator's pattern) must reproduce the
+	// materialized chain bit for bit.
+	for tt := 0; tt < horizon; tt++ {
+		for e := 0; e < n; e++ {
+			if stream.Present(e, tt) != full.Present(e, tt) {
+				t.Fatalf("stream diverges from materialized chain at edge %d t=%d", e, tt)
+			}
+		}
+	}
+	// Instants inside the trailing window remain readable; evicted ones
+	// panic rather than lie.
+	if stream.Present(0, horizon-2) != full.Present(0, horizon-2) {
+		t.Fatal("window read mismatch")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("evicted read did not panic")
+			}
+		}()
+		stream.Present(0, 0)
+	}()
+}
+
+func TestMarkovStreamRejectsBadProbabilities(t *testing.T) {
+	if _, err := NewMarkovStream(4, 0, 0.5, 1, 4); err == nil {
+		t.Fatal("up=0 accepted")
+	}
+	if _, err := NewMarkovStream(4, 0.5, 1.5, 1, 4); err == nil {
+		t.Fatal("down=1.5 accepted")
+	}
+}

@@ -38,14 +38,40 @@ type EvolvingGraph interface {
 
 // EdgesAt materializes the presence set E_t of g.
 func EdgesAt(g EvolvingGraph, t int) ring.EdgeSet {
+	s := ring.NewEdgeSet(g.Ring().Edges())
+	EdgesInto(g, t, &s)
+	return s
+}
+
+// InPlaceGraph is an optional extension of EvolvingGraph: implementations
+// write a presence set into a caller-provided EdgeSet, so per-round
+// materialization needs no allocation (recorded traces copy words instead
+// of re-testing every edge).
+type InPlaceGraph interface {
+	EvolvingGraph
+	// EdgesAtInto overwrites dst with E_t. dst is resized if its capacity
+	// does not match the ring's edge count.
+	EdgesAtInto(t int, dst *ring.EdgeSet)
+}
+
+// EdgesInto materializes E_t of g into dst without allocating (when dst
+// already has the right capacity), using the graph's own in-place fast
+// path when it provides one.
+func EdgesInto(g EvolvingGraph, t int, dst *ring.EdgeSet) {
+	if ip, ok := g.(InPlaceGraph); ok {
+		ip.EdgesAtInto(t, dst)
+		return
+	}
 	r := g.Ring()
-	s := ring.NewEdgeSet(r.Edges())
+	if dst.Size() != r.Edges() {
+		*dst = ring.NewEdgeSet(r.Edges())
+	}
+	dst.Clear()
 	for e := 0; e < r.Edges(); e++ {
 		if g.Present(e, t) {
-			s.Add(e)
+			dst.Add(e)
 		}
 	}
-	return s
 }
 
 // Static is the evolving graph in which every edge of the ring is present at

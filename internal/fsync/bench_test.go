@@ -1,0 +1,36 @@
+package fsync
+
+import (
+	"testing"
+
+	"pef/internal/dyngraph"
+	"pef/internal/robot"
+)
+
+// benchSim builds the canonical Step benchmark workload: PEF_3+-shaped
+// three-robot team on a 16-node static ring (the hot path of every sweep
+// and campaign, without dynamics-generation noise).
+func benchSim(b *testing.B, n, k int) *Simulator {
+	b.Helper()
+	sim, err := New(Config{
+		Algorithm:  robot.Func{AlgName: "bench-keep", Rule: func(d robot.LocalDir, _ robot.View) robot.LocalDir { return d }},
+		Dynamics:   Oblivious{G: dyngraph.NewStatic(n)},
+		Placements: EvenPlacements(n, k),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+// BenchmarkStep measures one synchronous round in steady state. The
+// allocs/op of this benchmark is the quantity the zero-allocation round
+// engine drives to zero.
+func BenchmarkStep(b *testing.B) {
+	sim := benchSim(b, 16, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}

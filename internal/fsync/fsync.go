@@ -9,10 +9,20 @@
 // robot positions, package adversary) through the Dynamics interface, and
 // records everything needed by the checkers: positions, global directions,
 // robot states, tower events, and the realized evolving graph.
+//
+// The round engine is allocation-free in steady state: Before/After
+// snapshots are double-buffered per simulator, presence sets are written
+// in place (InPlaceDynamics / dyngraph.EdgesInto), occupancy uses a
+// count slice instead of a map, and simulators themselves are pooled via
+// Acquire/Release so million-scenario campaigns reuse backing slices
+// across jobs. The price of the reuse is a retention contract: a
+// RoundEvent's slices (and its Edges set) are valid only until the next
+// Step on the same simulator — observers that keep data call Clone.
 package fsync
 
 import (
 	"fmt"
+	"sync"
 
 	"pef/internal/dyngraph"
 	"pef/internal/ring"
@@ -31,38 +41,104 @@ type Snapshot struct {
 	Positions []int
 	// GlobalDirs[i] is the global direction robot i currently points to.
 	GlobalDirs []ring.Direction
-	// States[i] is robot i's persistent state encoding (robot.Core.State).
-	States []string
+	// States[i] is robot i's compact persistent state (robot.Core.State).
+	// Render with String at the trace/report boundary only.
+	States []robot.StateCode
 	// MovedPrev[i] reports whether robot i moved during the previous round
 	// (as observed by the scheduler, not by the robot).
 	MovedPrev []bool
 }
 
-// Clone returns a deep copy of the snapshot.
+// cloneSlice deep-copies a slice preserving nil-vs-empty: a nil input
+// stays nil, an empty non-nil input stays empty non-nil.
+func cloneSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	c := make([]T, len(s))
+	copy(c, s)
+	return c
+}
+
+// Clone returns a deep copy of the snapshot. Nil and empty slices are
+// preserved as such, so cloned snapshots compare like their originals.
 func (s Snapshot) Clone() Snapshot {
 	return Snapshot{
 		T:          s.T,
-		Positions:  append([]int(nil), s.Positions...),
-		GlobalDirs: append([]ring.Direction(nil), s.GlobalDirs...),
-		States:     append([]string(nil), s.States...),
-		MovedPrev:  append([]bool(nil), s.MovedPrev...),
+		Positions:  cloneSlice(s.Positions),
+		GlobalDirs: cloneSlice(s.GlobalDirs),
+		States:     cloneSlice(s.States),
+		MovedPrev:  cloneSlice(s.MovedPrev),
+	}
+}
+
+// copyFrom overwrites dst in place with src, reusing backing arrays. It is
+// the engine's double-buffer refill; the public retention-safe path stays
+// Clone.
+func (s *Snapshot) copyFrom(src Snapshot) {
+	s.T = src.T
+	s.Positions = append(s.Positions[:0], src.Positions...)
+	s.GlobalDirs = append(s.GlobalDirs[:0], src.GlobalDirs...)
+	s.States = append(s.States[:0], src.States...)
+	s.MovedPrev = append(s.MovedPrev[:0], src.MovedPrev...)
+}
+
+// occScratch pools occupancy count slices, shared by Snapshot.Towers and
+// any other positional aggregation that runs outside a simulator (the
+// engine itself keeps a per-simulator slice instead).
+var occScratch = sync.Pool{New: func() any { return new([]int) }}
+
+// occupancyCounts tallies the robots per node into counts, growing it to
+// cover at least max+1 nodes, and returns the slice. Counts beyond the
+// touched nodes are zero; callers must re-zero the touched entries before
+// returning a pooled slice (countsReset).
+func occupancyCounts(positions []int, counts []int) []int {
+	max := -1
+	for _, p := range positions {
+		if p > max {
+			max = p
+		}
+	}
+	if cap(counts) < max+1 {
+		counts = make([]int, max+1)
+	}
+	counts = counts[:max+1]
+	for _, p := range positions {
+		counts[p]++
+	}
+	return counts
+}
+
+// countsReset re-zeroes exactly the entries touched by positions.
+func countsReset(counts []int, positions []int) {
+	for _, p := range positions {
+		counts[p] = 0
 	}
 }
 
 // Towers returns the nodes occupied by more than one robot, with the robot
-// indices at each, in increasing node order.
+// indices at each, in increasing node order — the order is deterministic
+// by construction (an ascending scan over the occupancy counts), not by a
+// post-hoc sort.
 func (s Snapshot) Towers() []Tower {
-	byNode := map[int][]int{}
-	for i, p := range s.Positions {
-		byNode[p] = append(byNode[p], i)
-	}
+	scratch := occScratch.Get().(*[]int)
+	counts := occupancyCounts(s.Positions, *scratch)
 	var towers []Tower
-	for node, robots := range byNode {
-		if len(robots) > 1 {
-			towers = append(towers, Tower{Node: node, Robots: robots})
+	for node, c := range counts {
+		if c <= 1 {
+			continue
 		}
+		robots := make([]int, 0, c)
+		for i, p := range s.Positions {
+			if p == node {
+				robots = append(robots, i)
+			}
+		}
+		towers = append(towers, Tower{Node: node, Robots: robots})
 	}
-	sortTowers(towers)
+	countsReset(counts, s.Positions)
+	*scratch = counts
+	occScratch.Put(scratch)
 	return towers
 }
 
@@ -73,14 +149,6 @@ type Tower struct {
 	Robots []int
 }
 
-func sortTowers(ts []Tower) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].Node < ts[j-1].Node; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
-}
-
 // Dynamics decides the presence set E_t of each round. Oblivious dynamics
 // ignore the snapshot; adaptive adversaries use it.
 type Dynamics interface {
@@ -89,6 +157,16 @@ type Dynamics interface {
 	// EdgesAt returns E_t given the configuration at the start of round t.
 	// The returned set's capacity must equal the ring's edge count.
 	EdgesAt(t int, snap Snapshot) ring.EdgeSet
+}
+
+// InPlaceDynamics is an optional extension of Dynamics: implementations
+// write E_t into a caller-provided set, so the steady-state round engine
+// allocates no presence set. The engine falls back to EdgesAt otherwise.
+type InPlaceDynamics interface {
+	Dynamics
+	// EdgesAtInto overwrites dst with E_t given the configuration at the
+	// start of round t. dst always arrives sized to the ring's edge count.
+	EdgesAtInto(t int, snap Snapshot, dst *ring.EdgeSet)
 }
 
 // Oblivious adapts a position-independent evolving graph to Dynamics.
@@ -102,6 +180,11 @@ func (o Oblivious) Ring() ring.Ring { return o.G.Ring() }
 // EdgesAt implements Dynamics.
 func (o Oblivious) EdgesAt(t int, _ Snapshot) ring.EdgeSet {
 	return dyngraph.EdgesAt(o.G, t)
+}
+
+// EdgesAtInto implements InPlaceDynamics.
+func (o Oblivious) EdgesAtInto(t int, _ Snapshot, dst *ring.EdgeSet) {
+	dyngraph.EdgesInto(o.G, t, dst)
 }
 
 // Placement is the initial condition of one robot.
@@ -137,13 +220,20 @@ type Config struct {
 	// dyngraph.Recorded retrievable via Simulator.RecordedGraph — needed
 	// when Dynamics is adaptive and the analyses want to replay it.
 	RecordGraph bool
+	// RecordWindow bounds the retained history when RecordGraph is set:
+	// values > 0 record in streaming mode (a sliding window of that many
+	// snapshots plus online recurrence accumulators) instead of the full
+	// O(horizon) trace. Zero keeps full history for trace emission and
+	// checker replay.
+	RecordWindow int
 }
 
 // Observer receives one event per completed round.
 type Observer interface {
 	// ObserveRound is called after round t completed, with the presence
 	// set used, the configuration before the round (time t) and after it
-	// (time t+1).
+	// (time t+1). The event's slices are reused by the next Step: clone
+	// whatever must outlive the round.
 	ObserveRound(ev RoundEvent)
 }
 
@@ -153,7 +243,9 @@ type ObserverFunc func(ev RoundEvent)
 // ObserveRound implements Observer.
 func (f ObserverFunc) ObserveRound(ev RoundEvent) { f(ev) }
 
-// RoundEvent describes one completed round.
+// RoundEvent describes one completed round. Its slices (including both
+// snapshots and the presence set) are backed by per-simulator buffers and
+// are valid until the next Step; retaining observers must Clone.
 type RoundEvent struct {
 	// T is the round index: the transition from time T to time T+1.
 	T int
@@ -178,62 +270,146 @@ type simRobot struct {
 	moved bool // moved during the previous round, scheduler-observed
 }
 
-// Simulator executes rounds. Create with New, then call Step or Run.
+// Simulator executes rounds. Create with New (or Acquire, which reuses a
+// pooled simulator), then call Step or Run.
 type Simulator struct {
 	r         ring.Ring
 	dyn       Dynamics
+	dynInto   InPlaceDynamics // non-nil when dyn supports in-place edges
 	robots    []simRobot
 	t         int
 	observers []Observer
 	recorded  *dyngraph.Recorded
+
+	// Steady-state scratch: reused by every Step, sized once per Reset.
+	before  Snapshot
+	after   Snapshot
+	edges   ring.EdgeSet // presence-set buffer for InPlaceDynamics
+	views   []robot.View
+	moved   []bool
+	flipped []bool
+	occ     []int // occupancy counts indexed by node
 }
 
 // New validates the configuration and builds a simulator positioned at
 // time 0.
 func New(cfg Config) (*Simulator, error) {
+	s := &Simulator{}
+	if err := s.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset reconfigures the simulator in place for a fresh run at time 0,
+// reusing its backing slices where shapes allow. It validates cfg exactly
+// like New; on error the simulator is left unusable until the next
+// successful Reset.
+func (s *Simulator) Reset(cfg Config) error {
 	if cfg.Algorithm == nil {
-		return nil, fmt.Errorf("fsync: nil algorithm")
+		return fmt.Errorf("fsync: nil algorithm")
 	}
 	if cfg.Dynamics == nil {
-		return nil, fmt.Errorf("fsync: nil dynamics")
+		return fmt.Errorf("fsync: nil dynamics")
 	}
 	r := cfg.Dynamics.Ring()
 	k := len(cfg.Placements)
 	if k == 0 {
-		return nil, fmt.Errorf("fsync: no robots placed")
+		return fmt.Errorf("fsync: no robots placed")
 	}
 	if !cfg.AllowFull && k >= r.Size() {
-		return nil, fmt.Errorf("fsync: %d robots on %d nodes violates k < n", k, r.Size())
+		return fmt.Errorf("fsync: %d robots on %d nodes violates k < n", k, r.Size())
 	}
-	seen := make(map[int]bool, k)
-	robots := make([]simRobot, k)
+	s.r = r
+	s.dyn = cfg.Dynamics
+	s.dynInto, _ = cfg.Dynamics.(InPlaceDynamics)
+	s.t = 0
+	s.robots = resize(s.robots, k)
+	s.occ = resize(s.occ, r.Size())
+	for i := range s.occ {
+		s.occ[i] = 0
+	}
 	for i, p := range cfg.Placements {
 		if !r.ValidNode(p.Node) {
-			return nil, fmt.Errorf("fsync: robot %d placed on invalid node %d", i, p.Node)
+			return fmt.Errorf("fsync: robot %d placed on invalid node %d", i, p.Node)
 		}
 		if !p.Chirality.Valid() {
-			return nil, fmt.Errorf("fsync: robot %d has invalid chirality %d", i, p.Chirality)
+			return fmt.Errorf("fsync: robot %d has invalid chirality %d", i, p.Chirality)
 		}
-		if seen[p.Node] && !cfg.AllowTowers {
-			return nil, fmt.Errorf("fsync: initial configuration has a tower on node %d (not towerless)", p.Node)
+		// occ doubles as the duplicate-placement detector; it is re-zeroed
+		// at the top of every Reset, so error returns may leave it dirty.
+		if s.occ[p.Node] > 0 && !cfg.AllowTowers {
+			return fmt.Errorf("fsync: initial configuration has a tower on node %d (not towerless)", p.Node)
 		}
-		seen[p.Node] = true
+		s.occ[p.Node]++
 		core := p.Core
 		if core == nil {
 			core = cfg.Algorithm.NewCore()
 		}
-		robots[i] = simRobot{core: core, chir: p.Chirality, node: p.Node}
+		s.robots[i] = simRobot{core: core, chir: p.Chirality, node: p.Node}
 	}
-	s := &Simulator{
-		r:         r,
-		dyn:       cfg.Dynamics,
-		robots:    robots,
-		observers: append([]Observer(nil), cfg.Observers...),
+	for _, p := range cfg.Placements {
+		s.occ[p.Node] = 0
 	}
+	s.observers = append(s.observers[:0], cfg.Observers...)
+	s.recorded = nil
 	if cfg.RecordGraph {
-		s.recorded = dyngraph.NewRecorded(r.Size())
+		if cfg.RecordWindow > 0 {
+			s.recorded = dyngraph.NewStreamingRecorded(r.Size(), cfg.RecordWindow)
+		} else {
+			s.recorded = dyngraph.NewRecorded(r.Size())
+		}
+	}
+	if s.edges.Size() != r.Edges() {
+		s.edges = ring.NewEdgeSet(r.Edges())
+	}
+	s.views = resize(s.views, k)
+	s.moved = resize(s.moved, k)
+	s.flipped = resize(s.flipped, k)
+	s.fillSnapshot(&s.before)
+	s.fillSnapshot(&s.after)
+	return nil
+}
+
+// resize returns a slice of length n, reusing s's backing array when it is
+// large enough.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// simPool backs Acquire/Release: batch sweeps and scenario campaigns run
+// millions of (experiment × seed) jobs, and reusing simulators across them
+// keeps the per-job cost at a Reset instead of a full reallocation.
+var simPool = sync.Pool{New: func() any { return new(Simulator) }}
+
+// Acquire returns a pooled simulator configured with cfg. It is New with
+// recycled backing slices; pair it with Release when the run is done.
+func Acquire(cfg Config) (*Simulator, error) {
+	s := simPool.Get().(*Simulator)
+	if err := s.Reset(cfg); err != nil {
+		simPool.Put(s)
+		return nil, err
 	}
 	return s, nil
+}
+
+// Release returns the simulator to the pool. The caller must not use s (or
+// any un-cloned RoundEvent data it produced) afterwards. Reference-typed
+// fields that could pin large object graphs are dropped here; the scratch
+// slices are the point of the pool and stay.
+func (s *Simulator) Release() {
+	s.dyn = nil
+	s.dynInto = nil
+	s.recorded = nil
+	clear(s.observers) // drop observer references, not just the length
+	s.observers = s.observers[:0]
+	for i := range s.robots {
+		s.robots[i].core = nil
+	}
+	simPool.Put(s)
 }
 
 // Ring returns the underlying ring.
@@ -246,15 +422,26 @@ func (s *Simulator) Now() int { return s.t }
 func (s *Simulator) Robots() int { return len(s.robots) }
 
 // Snapshot returns the externally observable configuration at the current
-// instant.
+// instant. The returned snapshot is freshly allocated and safe to retain.
 func (s *Simulator) Snapshot() Snapshot {
 	snap := Snapshot{
-		T:          s.t,
 		Positions:  make([]int, len(s.robots)),
 		GlobalDirs: make([]ring.Direction, len(s.robots)),
-		States:     make([]string, len(s.robots)),
+		States:     make([]robot.StateCode, len(s.robots)),
 		MovedPrev:  make([]bool, len(s.robots)),
 	}
+	s.fillSnapshot(&snap)
+	return snap
+}
+
+// fillSnapshot overwrites snap in place with the current configuration,
+// reusing its backing slices.
+func (s *Simulator) fillSnapshot(snap *Snapshot) {
+	snap.T = s.t
+	snap.Positions = resize(snap.Positions, len(s.robots))
+	snap.GlobalDirs = resize(snap.GlobalDirs, len(s.robots))
+	snap.States = resize(snap.States, len(s.robots))
+	snap.MovedPrev = resize(snap.MovedPrev, len(s.robots))
 	for i := range s.robots {
 		rb := &s.robots[i]
 		snap.Positions[i] = rb.node
@@ -262,7 +449,6 @@ func (s *Simulator) Snapshot() Snapshot {
 		snap.States[i] = rb.core.State()
 		snap.MovedPrev[i] = rb.moved
 	}
-	return snap
 }
 
 // globalDir converts a robot's local pointed direction to the external
@@ -278,10 +464,17 @@ func globalDir(c robot.Chirality, d robot.LocalDir) ring.Direction {
 // was set, and nil otherwise.
 func (s *Simulator) RecordedGraph() *dyngraph.Recorded { return s.recorded }
 
-// Step runs one synchronous round and returns its event.
+// Step runs one synchronous round and returns its event. The event's
+// slices are valid until the next Step on this simulator.
 func (s *Simulator) Step() RoundEvent {
-	before := s.Snapshot()
-	edges := s.dyn.EdgesAt(s.t, before)
+	s.fillSnapshot(&s.before)
+	edges := s.edges
+	if s.dynInto != nil {
+		s.dynInto.EdgesAtInto(s.t, s.before, &s.edges)
+		edges = s.edges
+	} else {
+		edges = s.dyn.EdgesAt(s.t, s.before)
+	}
 	if edges.Size() != s.r.Edges() {
 		panic(fmt.Sprintf("fsync: dynamics produced edge set of size %d for ring with %d edges", edges.Size(), s.r.Edges()))
 	}
@@ -289,55 +482,56 @@ func (s *Simulator) Step() RoundEvent {
 		s.recorded.Append(edges)
 	}
 
-	occupancy := make(map[int]int, len(s.robots))
 	for i := range s.robots {
-		occupancy[s.robots[i].node]++
+		s.occ[s.robots[i].node]++
 	}
 
 	// Look: gather each robot's view on E_t.
-	views := make([]robot.View, len(s.robots))
 	for i := range s.robots {
 		rb := &s.robots[i]
 		pointed := globalDir(rb.chir, rb.core.Dir())
-		views[i] = robot.View{
+		s.views[i] = robot.View{
 			EdgeDir:     edges.Contains(s.r.EdgeTowards(rb.node, pointed)),
 			EdgeOpp:     edges.Contains(s.r.EdgeTowards(rb.node, pointed.Opposite())),
-			OtherRobots: occupancy[rb.node] > 1,
+			OtherRobots: s.occ[rb.node] > 1,
 		}
+	}
+	for i := range s.robots {
+		s.occ[s.robots[i].node] = 0
 	}
 
 	// Compute: all robots atomically.
-	flipped := make([]bool, len(s.robots))
 	for i := range s.robots {
 		rb := &s.robots[i]
 		oldGlobal := globalDir(rb.chir, rb.core.Dir())
-		rb.core.Compute(views[i])
+		rb.core.Compute(s.views[i])
 		if !rb.core.Dir().Valid() {
 			panic(fmt.Sprintf("fsync: robot %d computed invalid direction", i))
 		}
-		flipped[i] = globalDir(rb.chir, rb.core.Dir()) != oldGlobal
+		s.flipped[i] = globalDir(rb.chir, rb.core.Dir()) != oldGlobal
 	}
 
 	// Move: all robots atomically, on the same snapshot E_t.
-	moved := make([]bool, len(s.robots))
 	for i := range s.robots {
 		rb := &s.robots[i]
 		pointed := globalDir(rb.chir, rb.core.Dir())
+		s.moved[i] = false
 		if edges.Contains(s.r.EdgeTowards(rb.node, pointed)) {
 			rb.node = s.r.Next(rb.node, pointed)
-			moved[i] = true
+			s.moved[i] = true
 		}
-		rb.moved = moved[i]
+		rb.moved = s.moved[i]
 	}
 
 	s.t++
+	s.fillSnapshot(&s.after)
 	ev := RoundEvent{
-		T:       before.T,
+		T:       s.before.T,
 		Edges:   edges,
-		Before:  before,
-		After:   s.Snapshot(),
-		Moved:   moved,
-		Flipped: flipped,
+		Before:  s.before,
+		After:   s.after,
+		Moved:   s.moved,
+		Flipped: s.flipped,
 	}
 	for _, ob := range s.observers {
 		ob.ObserveRound(ev)

@@ -203,7 +203,7 @@ func TestSnapshotReflectsStateAndMoved(t *testing.T) {
 	if snap.GlobalDirs[0] != ring.CCW {
 		t.Fatalf("initial global dir %v, want CCW", snap.GlobalDirs[0])
 	}
-	if snap.States[0] != "dir=left" {
+	if snap.States[0].String() != "dir=left" {
 		t.Fatalf("state = %q", snap.States[0])
 	}
 	sim.Step()
@@ -309,5 +309,57 @@ func TestCustomInitialCore(t *testing.T) {
 	ev := sim.Step()
 	if got := ev.After.Positions[0]; got != 1 {
 		t.Fatalf("custom core ignored: robot at %d, want 1", got)
+	}
+}
+
+func TestResetReusesSimulatorAcrossShapes(t *testing.T) {
+	sim := mustSim(t, Config{
+		Algorithm:  keepDir(),
+		Dynamics:   Oblivious{G: dyngraph.NewStatic(5)},
+		Placements: []Placement{{Node: 0, Chirality: robot.RightIsCW}},
+	})
+	first := sim.Run(10)
+	// Reconfigure in place: different ring size, team size, and dynamics.
+	if err := sim.Reset(Config{
+		Algorithm:  flipOnTower(),
+		Dynamics:   Oblivious{G: dyngraph.NewStatic(7)},
+		Placements: EvenPlacements(7, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Now() != 0 || sim.Robots() != 3 || sim.Ring().Size() != 7 {
+		t.Fatalf("Reset left time=%d robots=%d n=%d", sim.Now(), sim.Robots(), sim.Ring().Size())
+	}
+	second := sim.Run(10)
+	if len(second.Positions) != 3 {
+		t.Fatalf("second run positions = %v", second.Positions)
+	}
+	// The first run's final snapshot must be untouched by the reuse.
+	if len(first.Positions) != 1 {
+		t.Fatalf("first run snapshot corrupted: %v", first.Positions)
+	}
+	// A failed Reset reports its error like New.
+	if err := sim.Reset(Config{Dynamics: Oblivious{G: dyngraph.NewStatic(4)}}); err == nil {
+		t.Fatal("Reset accepted a nil algorithm")
+	}
+}
+
+func TestRoundEventBuffersReusedAcrossSteps(t *testing.T) {
+	// The documented retention contract: RoundEvent slices belong to the
+	// simulator and are rewritten by the next Step, while Clone detaches.
+	sim := mustSim(t, Config{
+		Algorithm:  keepDir(),
+		Dynamics:   Oblivious{G: dyngraph.NewStatic(5)},
+		Placements: []Placement{{Node: 0, Chirality: robot.RightIsCW}},
+	})
+	ev := sim.Step()
+	kept := ev.After.Clone()
+	pos := ev.After.Positions
+	sim.Step()
+	if kept.Positions[0] != 4 {
+		t.Fatalf("cloned snapshot changed: %v", kept.Positions)
+	}
+	if pos[0] == 4 {
+		t.Fatal("event buffer was not reused (expected the next step to overwrite it)")
 	}
 }

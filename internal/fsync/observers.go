@@ -1,5 +1,10 @@
 package fsync
 
+import (
+	"pef/internal/dyngraph"
+	"pef/internal/robot"
+)
+
 // SnapshotRecorder is an Observer keeping a full per-instant snapshot
 // history (including the initial configuration). It backs the trajectory
 // extraction of the Lemma 4.1 mirror pipeline and the space-time renderers.
@@ -31,11 +36,21 @@ func (sr *SnapshotRecorder) Trajectory(idx int) []int {
 	return out
 }
 
-// States returns robot idx's persistent-state encodings at every instant.
-func (sr *SnapshotRecorder) States(idx int) []string {
-	out := make([]string, len(sr.snaps))
+// States returns robot idx's persistent-state codes at every instant.
+func (sr *SnapshotRecorder) States(idx int) []robot.StateCode {
+	out := make([]robot.StateCode, len(sr.snaps))
 	for t, s := range sr.snaps {
 		out[t] = s.States[idx]
 	}
 	return out
 }
+
+// COTScan feeds every round's realized presence set into an online
+// dyngraph.JourneyScan, so connected-over-time verification runs without
+// recording the evolving graph (no O(horizon) history).
+type COTScan struct {
+	Scan *dyngraph.JourneyScan
+}
+
+// ObserveRound implements Observer.
+func (c COTScan) ObserveRound(ev RoundEvent) { c.Scan.Observe(ev.T, ev.Edges) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fsync
+
+const raceEnabled = false

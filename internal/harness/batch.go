@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"pef/internal/metrics"
 )
@@ -43,6 +44,10 @@ type JobResult struct {
 	// that never ran because the context was cancelled — the context's
 	// error.
 	Err error
+	// Elapsed is the wall time the job's Run took (zero when it never
+	// ran). It never feeds the deterministic reports; the -timings bench
+	// trajectories and pefbenchdiff consume it.
+	Elapsed time.Duration
 }
 
 // Passed reports the job's verdict: it executed without error and its
@@ -138,7 +143,9 @@ func RunBatch(ctx context.Context, cfg BatchConfig) ([]JobResult, error) {
 // failed results so a single diverging experiment cannot take down a sweep.
 func runJob(e Experiment, seed uint64, quick bool) (jr JobResult) {
 	jr = newJobResult(e, seed)
+	start := time.Now()
 	defer func() {
+		jr.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
 			jr.Err = fmt.Errorf("harness: experiment %s (seed %d): panic: %v", e.ID, seed, r)
 			jr.Result.Pass = false

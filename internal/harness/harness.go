@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"pef/internal/metrics"
+	"pef/internal/robot"
 	"pef/internal/spec"
 )
 
@@ -107,6 +108,30 @@ func shardByRing(id, title, artifact string, ns []int, run func(cfg Config, id s
 				return run(cfg, sid, []int{n})
 			},
 		})
+	}
+	return out
+}
+
+// shardByRingAlg builds one sub-experiment per (ring size, victim
+// algorithm) pair with IDs "<id>#n=<size>/a=<alg>" — the decomposition of
+// the impossibility experiments' victim-suite loops, so no (ring, victim)
+// case serializes a sweep on one batch worker. Concatenating the shard
+// tables in index order reproduces the full experiment exactly.
+func shardByRingAlg(id, title, artifact string, ns []int, algs []robot.Algorithm, run func(cfg Config, id string, ns []int, algs []robot.Algorithm) (Result, error)) []Experiment {
+	out := make([]Experiment, 0, len(ns)*len(algs))
+	for _, n := range ns {
+		for _, alg := range algs {
+			n, alg := n, alg
+			sid := fmt.Sprintf("%s#n=%d/a=%s", id, n, alg.Name())
+			out = append(out, Experiment{
+				ID:       sid,
+				Title:    fmt.Sprintf("%s [n=%d, %s]", title, n, alg.Name()),
+				Artifact: artifact,
+				Run: func(cfg Config) (Result, error) {
+					return run(cfg, sid, []int{n}, []robot.Algorithm{alg})
+				},
+			})
+		}
 	}
 	return out
 }

@@ -55,15 +55,15 @@ func t1r4Rings(quick bool) []int {
 }
 
 func runT1R4(cfg Config) (Result, error) {
-	return runT1R4Rings(cfg, "E-T1.R4", t1r4Rings(cfg.Quick))
+	return runT1R4Cases(cfg, "E-T1.R4", t1r4Rings(cfg.Quick), victimSuite())
 }
 
 func shardT1R4(quick bool) []Experiment {
-	return shardByRing("E-T1.R4", "One robot is confined on rings of size >= 3",
-		"Table 1 row 4 (Theorem 5.1)", t1r4Rings(quick), runT1R4Rings)
+	return shardByRingAlg("E-T1.R4", "One robot is confined on rings of size >= 3",
+		"Table 1 row 4 (Theorem 5.1)", t1r4Rings(quick), victimSuite(), runT1R4Cases)
 }
 
-func runT1R4Rings(cfg Config, id string, ns []int) (Result, error) {
+func runT1R4Cases(cfg Config, id string, ns []int, algs []robot.Algorithm) (Result, error) {
 	res := Result{ID: id, Title: "One robot is confined on rings of size >= 3",
 		Artifact: "Table 1 row 4 (Theorem 5.1)", Pass: true}
 	res.Table = metrics.NewTable("algorithm", "n", "visited", "outcome", "verdict")
@@ -73,7 +73,7 @@ func runT1R4Rings(cfg Config, id string, ns []int) (Result, error) {
 		if cfg.Quick {
 			horizon = 24 * n
 		}
-		for _, alg := range victimSuite() {
+		for _, alg := range algs {
 			ct, adv, sim, _, err := confineOne(alg, robot.RightIsCW, n, horizon)
 			if err != nil {
 				return res, err
@@ -106,15 +106,15 @@ func t1r2Rings(quick bool) []int {
 }
 
 func runT1R2(cfg Config) (Result, error) {
-	return runT1R2Rings(cfg, "E-T1.R2", t1r2Rings(cfg.Quick))
+	return runT1R2Cases(cfg, "E-T1.R2", t1r2Rings(cfg.Quick), victimSuite())
 }
 
 func shardT1R2(quick bool) []Experiment {
-	return shardByRing("E-T1.R2", "Two robots are confined on rings of size >= 4",
-		"Table 1 row 2 (Theorem 4.1)", t1r2Rings(quick), runT1R2Rings)
+	return shardByRingAlg("E-T1.R2", "Two robots are confined on rings of size >= 4",
+		"Table 1 row 2 (Theorem 4.1)", t1r2Rings(quick), victimSuite(), runT1R2Cases)
 }
 
-func runT1R2Rings(cfg Config, id string, ns []int) (Result, error) {
+func runT1R2Cases(cfg Config, id string, ns []int, algs []robot.Algorithm) (Result, error) {
 	res := Result{ID: id, Title: "Two robots are confined on rings of size >= 4",
 		Artifact: "Table 1 row 2 (Theorem 4.1)", Pass: true}
 	res.Table = metrics.NewTable("algorithm", "n", "visited", "outcome", "verdict")
@@ -124,7 +124,7 @@ func runT1R2Rings(cfg Config, id string, ns []int) (Result, error) {
 		if cfg.Quick {
 			horizon = 24 * n
 		}
-		for _, alg := range victimSuite() {
+		for _, alg := range algs {
 			adv := adversary.NewTwoRobotConfinement(n, 0, 0, 1)
 			ct := spec.NewConfinementTracker()
 			sim, err := fsync.New(fsync.Config{

@@ -15,12 +15,14 @@ import (
 
 // explorationRun executes alg with k robots on an n-node ring under the
 // workload and returns the exploration report plus the tower invariant
-// checker (meaningful for PEF_3+ runs only).
+// checker (meaningful for PEF_3+ runs only). Simulators come from the
+// fsync pool: across an (experiment × seed) sweep the same backing slices
+// serve every run.
 func explorationRun(alg robot.Algorithm, n, k int, build func(seed uint64) fsync.Dynamics, seed uint64, horizon int) (spec.ExplorationReport, *spec.TowerInvariants, error) {
 	vt := spec.NewVisitTracker(n)
 	ti := spec.NewTowerInvariants()
 	src := prng.NewSource(seed)
-	sim, err := fsync.New(fsync.Config{
+	sim, err := fsync.Acquire(fsync.Config{
 		Algorithm:  alg,
 		Dynamics:   build(seed),
 		Placements: fsync.RandomPlacements(n, k, src),
@@ -30,6 +32,7 @@ func explorationRun(alg robot.Algorithm, n, k int, build func(seed uint64) fsync
 		return spec.ExplorationReport{}, nil, err
 	}
 	sim.Run(horizon)
+	sim.Release()
 	return vt.Report(), ti, nil
 }
 

@@ -79,9 +79,11 @@ func tableRows(res Result) string {
 // through the batch engine at two worker counts and demands byte-identical
 // reports — the reorder-buffer guarantee must survive shard expansion.
 func TestShardedBatchDeterministicAcrossWorkers(t *testing.T) {
-	exps := Sharded(All()[:2], true) // E-T1.R1 + E-T1.R2 → 4 shards
-	if len(exps) != 4 {
-		t.Fatalf("expected 4 shards from the first two experiments, got %d", len(exps))
+	// E-T1.R1 → 2 quick ring shards; E-T1.R2 → 2 quick rings × the
+	// 12-member victim suite.
+	exps := Sharded(All()[:2], true)
+	if len(exps) != 2+2*12 {
+		t.Fatalf("expected 26 shards from the first two experiments, got %d", len(exps))
 	}
 	render := func(workers int) string {
 		jobs, err := RunBatch(context.Background(), BatchConfig{
@@ -125,6 +127,35 @@ func TestBatchShardFlag(t *testing.T) {
 		}
 		if !j.Passed() {
 			t.Fatalf("shard %s failed: err=%v notes=%v", j.ID, j.Err, j.Result.Notes)
+		}
+	}
+}
+
+// TestVictimSuiteShardIDs pins the shape of the victim-suite
+// decomposition: the impossibility sweeps split into one job per
+// (ring size, victim algorithm) pair, each carrying both coordinates in
+// its ID.
+func TestVictimSuiteShardIDs(t *testing.T) {
+	for _, id := range []string{"E-T1.R2", "E-T1.R4"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		shards := e.Shards(true)
+		rings := 2
+		if len(shards) != rings*len(victimSuite()) {
+			t.Fatalf("%s: %d shards, want %d", id, len(shards), rings*len(victimSuite()))
+		}
+		if want := id + "#n=4/a=keep-direction"; id == "E-T1.R2" && shards[0].ID != want {
+			t.Fatalf("%s: first shard ID %q, want %q", id, shards[0].ID, want)
+		}
+		// Each shard carries exactly one table row: one (ring, victim) case.
+		res, err := shards[0].Run(Config{Seed: 2, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Table.Rows() != 1 {
+			t.Fatalf("%s: shard produced %d rows, want 1", id, res.Table.Rows())
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"pef/internal/dyngraph"
 	"pef/internal/fsync"
 	"pef/internal/metrics"
+	"pef/internal/ring"
 	"pef/internal/robot"
 	"pef/internal/spec"
 )
@@ -31,18 +32,33 @@ func runX11(cfg Config) (Result, error) {
 	checkLegal := func(g *dyngraph.Recorded) bool {
 		return dyngraph.VerifyConnectedOverTime(g, horizon, []int{0, horizon / 3}).OK
 	}
+	cotStarts := []int{0, horizon / 3}
 
-	// k = 1: Theorem 5.1 adversary.
+	// k = 1: Theorem 5.1 adversary. The legality checks run online — a
+	// JourneyScan accumulates foremost arrivals round by round and the
+	// recorder runs in streaming mode (window 1, recurrence accumulators
+	// only) — so this branch holds no O(horizon) edge-set history.
 	{
-		ct, _, sim, _, err := confineOne(core.PEF3Plus{}, robot.RightIsCW, n, horizon)
+		adv := adversary.NewOneRobotConfinement(n, 0, 0)
+		ct := spec.NewConfinementTracker()
+		scan := dyngraph.NewJourneyScan(ring.New(n), cotStarts)
+		sim, err := fsync.New(fsync.Config{
+			Algorithm:    core.PEF3Plus{},
+			Dynamics:     adv,
+			Placements:   []fsync.Placement{{Node: 0, Chirality: robot.RightIsCW}},
+			Observers:    []fsync.Observer{ct, fsync.COTScan{Scan: scan}},
+			RecordGraph:  true,
+			RecordWindow: 1,
+		})
 		if err != nil {
 			return res, err
 		}
+		sim.Run(horizon)
 		// A stalled victim freezes the schedule legally (one eventually
 		// missing edge keeps the eventual underlying graph connected, a
 		// chain); treat that case as legal even though the journey check
 		// needs a longer horizon to certify it.
-		legal := checkLegal(sim.RecordedGraph()) || hasOneEventuallyMissing(sim.RecordedGraph(), horizon)
+		legal := scan.Report().OK || len(sim.RecordedGraph().EventuallyMissingOnline(horizon/2)) == 1
 		confined := ct.ConfinedTo(2)
 		if !confined || !legal {
 			res.Pass = false
@@ -118,18 +134,20 @@ func runX11(cfg Config) (Result, error) {
 	} {
 		adv := adversary.NewArcContainment(n, 0, 4, policy.budget)
 		ct := spec.NewConfinementTracker()
+		// Legality comes from the online scan alone: nothing replays this
+		// schedule, so no graph is recorded at all.
+		scan := dyngraph.NewJourneyScan(ring.New(n), cotStarts)
 		sim, err := fsync.New(fsync.Config{
-			Algorithm:   core.PEF3Plus{},
-			Dynamics:    adv,
-			Placements:  fsync.AdjacentPlacements(n, 3, 0),
-			Observers:   []fsync.Observer{ct},
-			RecordGraph: true,
+			Algorithm:  core.PEF3Plus{},
+			Dynamics:   adv,
+			Placements: fsync.AdjacentPlacements(n, 3, 0),
+			Observers:  []fsync.Observer{ct, fsync.COTScan{Scan: scan}},
 		})
 		if err != nil {
 			return res, err
 		}
 		sim.Run(horizon)
-		legal := checkLegal(sim.RecordedGraph())
+		legal := scan.Report().OK
 		confined := ct.ConfinedTo(4)
 		outcome := "escaped: exploration wins"
 		if confined && legal {
@@ -146,12 +164,6 @@ func runX11(cfg Config) (Result, error) {
 		"With one or two robots the paper's adversaries confine inside the class of connected-over-time rings.",
 		"With three robots every containment attempt must choose: keep walls forever (illegal graph) or reopen them (PEF_3+ escapes).")
 	return res, nil
-}
-
-// hasOneEventuallyMissing reports whether exactly one edge is absent over
-// the whole trailing half of the horizon — the legal stalled-victim limit.
-func hasOneEventuallyMissing(g *dyngraph.Recorded, horizon int) bool {
-	return len(dyngraph.EventuallyMissingEdges(g, horizon, horizon/2)) == 1
 }
 
 // chirOf returns the chirality the E-X11 two-robot run assigns to each

@@ -104,6 +104,24 @@ func (s EdgeSet) Clone() EdgeSet {
 	return c
 }
 
+// Clear removes every edge from the set in place.
+func (s *EdgeSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites the set with the contents of o, reusing the backing
+// words when the capacities match and reallocating otherwise. It is the
+// in-place counterpart of Clone for pooled presence sets.
+func (s *EdgeSet) CopyFrom(o EdgeSet) {
+	if len(s.words) != len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	}
+	s.n = o.n
+	copy(s.words, o.words)
+}
+
 // Without returns a copy of the set with the listed edges removed.
 func (s EdgeSet) Without(edges ...int) EdgeSet {
 	c := s.Clone()

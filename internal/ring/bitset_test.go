@@ -162,3 +162,28 @@ func TestEdgesMissingPartitionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEdgeSetClearAndCopyFrom(t *testing.T) {
+	s := EdgeSetOf(70, 0, 5, 64, 69)
+	s.Clear()
+	if !s.IsEmpty() || s.Size() != 70 {
+		t.Fatalf("Clear left %v", s)
+	}
+	src := EdgeSetOf(70, 1, 63, 68)
+	s.CopyFrom(src)
+	if !s.Equal(src) {
+		t.Fatalf("CopyFrom = %v, want %v", s, src)
+	}
+	// CopyFrom must be a deep copy: mutating the source afterwards may not
+	// leak through.
+	src.Add(2)
+	if s.Contains(2) {
+		t.Fatal("CopyFrom shares storage with its source")
+	}
+	// Capacity changes reallocate.
+	var small EdgeSet
+	small.CopyFrom(EdgeSetOf(3, 1))
+	if small.Size() != 3 || !small.Contains(1) || small.Contains(0) {
+		t.Fatalf("CopyFrom into zero set = %v", small)
+	}
+}

@@ -103,6 +103,77 @@ func (v View) ExistsEdge(pointed, d LocalDir) bool {
 	return v.EdgeOpp
 }
 
+// StateKind selects the rendering schema of a StateCode: which persistent
+// variables the code carries and how String lays them out. Each algorithm
+// family picks the kind matching its variable set, so codes from different
+// families never compare equal by accident.
+type StateKind uint8
+
+const (
+	// StateDir encodes algorithms whose only persistent variable is dir.
+	StateDir StateKind = iota
+	// StateDirMoved adds the HasMovedPreviousStep flag (PEF_3+).
+	StateDirMoved
+	// StateSweep adds a done/sweep counter pair packed into Aux
+	// (pendulum, doubling zigzag).
+	StateSweep
+	// StateLCG adds a full 64-bit generator register in Aux (lcg-walker).
+	StateLCG
+)
+
+// StateCode is a compact, comparable encoding of a robot core's persistent
+// variables — the engine-level replacement for string state encodings on
+// the simulation hot path. Two robots are "in the same state" (Lemma 4.1)
+// iff their StateCodes are equal (plain ==); rendering to the classic
+// string form happens lazily via String at the trace/report boundary only.
+// Encodings must be purely local: they may mention left/right but never
+// clockwise/counter-clockwise.
+type StateCode struct {
+	// Kind is the rendering schema.
+	Kind StateKind
+	// Dir is the dir variable, present in every algorithm.
+	Dir LocalDir
+	// Flag carries the kind's boolean variable (moved for StateDirMoved).
+	Flag bool
+	// Aux carries the kind's numeric payload (packed counters, LCG state).
+	Aux uint64
+}
+
+// DirState encodes a dir-only core.
+func DirState(d LocalDir) StateCode { return StateCode{Kind: StateDir, Dir: d} }
+
+// DirMovedState encodes a (dir, HasMovedPreviousStep) core.
+func DirMovedState(d LocalDir, moved bool) StateCode {
+	return StateCode{Kind: StateDirMoved, Dir: d, Flag: moved}
+}
+
+// SweepState encodes a (dir, done, sweep) core; both counters must fit in
+// 32 bits (the doubling zigzag caps its sweep well below that).
+func SweepState(d LocalDir, done, sweep int) StateCode {
+	return StateCode{Kind: StateSweep, Dir: d, Aux: uint64(uint32(done)) | uint64(uint32(sweep))<<32}
+}
+
+// LCGState encodes a (dir, generator register) core.
+func LCGState(d LocalDir, state uint64) StateCode {
+	return StateCode{Kind: StateLCG, Dir: d, Aux: state}
+}
+
+// String renders the code in the classic persistent-variable form
+// ("dir=left,moved=true"). It allocates, so the engine never calls it; the
+// trace and report layers do.
+func (c StateCode) String() string {
+	switch c.Kind {
+	case StateDirMoved:
+		return fmt.Sprintf("dir=%s,moved=%t", c.Dir, c.Flag)
+	case StateSweep:
+		return fmt.Sprintf("dir=%s,done=%d/%d", c.Dir, uint32(c.Aux), uint32(c.Aux>>32))
+	case StateLCG:
+		return fmt.Sprintf("dir=%s,lcg=%d", c.Dir, c.Aux)
+	default:
+		return "dir=" + c.Dir.String()
+	}
+}
+
 // Core is one robot's deterministic state machine: the persistent variables
 // of Section 2.2 plus the Compute rule. Implementations must be
 // deterministic — the computability results quantify over deterministic
@@ -115,11 +186,10 @@ type Core interface {
 	// Compute executes the Compute phase on the view gathered during Look,
 	// possibly modifying the robot's persistent variables (including dir).
 	Compute(view View)
-	// State returns a stable, comparable encoding of all persistent
-	// variables. Two robots are "in the same state" (Lemma 4.1) iff their
-	// State strings are equal. Encodings must be purely local: they may
-	// mention left/right but never clockwise/counter-clockwise.
-	State() string
+	// State returns the compact encoding of all persistent variables. Two
+	// robots are "in the same state" (Lemma 4.1) iff their codes are equal.
+	// State must not allocate: the simulator calls it every round.
+	State() StateCode
 }
 
 // Algorithm is a uniform deterministic algorithm: a factory producing one
@@ -162,4 +232,4 @@ func (c *funcCore) Compute(view View) {
 	c.dir = next
 }
 
-func (c *funcCore) State() string { return "dir=" + c.dir.String() }
+func (c *funcCore) State() StateCode { return DirState(c.dir) }

@@ -99,7 +99,7 @@ func TestFuncAlgorithm(t *testing.T) {
 	if core.Dir() != Right {
 		t.Fatal("rule not applied")
 	}
-	if core.State() != "dir=right" {
+	if core.State().String() != "dir=right" {
 		t.Fatalf("State = %q", core.State())
 	}
 	// Independent cores do not share state.

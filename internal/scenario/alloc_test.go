@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// steadySpec is the alloc-guard workload: a mid-size static-ring spec so
+// every allocation left in the oracle path is per-spec bookkeeping, never
+// per-round.
+func steadySpec(horizon int) Spec {
+	return Spec{
+		Version:   Version,
+		Ring:      12,
+		Robots:    3,
+		Algorithm: "pef3+",
+		Placement: PlaceEven,
+		Family:    "static",
+		Horizon:   horizon,
+		Seed:      7,
+	}
+}
+
+// TestOracleEvaluationSteadyStateAllocFree guards the campaign hot path:
+// the per-spec cost of Run must not scale with the horizon — all per-round
+// work (snapshots, presence sets, occupancy, trackers) reuses pooled
+// storage. Per-spec constant bookkeeping (verdict, ID string, reports) is
+// allowed; per-round allocation is the regression this test catches.
+// Skipped under -race (instrumented allocation counts).
+func TestOracleEvaluationSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	measure := func(horizon int) float64 {
+		s := steadySpec(horizon)
+		Run(s) // warm pools and grow tracker capacity for this horizon
+		return testing.AllocsPerRun(20, func() {
+			if v := Run(s); !v.OK {
+				t.Fatalf("guard spec failed: %+v", v)
+			}
+		})
+	}
+	short := measure(200)
+	long := measure(1400)
+	// Six times the rounds may not cost extra allocations beyond noise.
+	if long > short+2 {
+		t.Fatalf("oracle evaluation allocates per round: %v allocs at horizon 200 vs %v at 1400", short, long)
+	}
+}

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkOracleRun measures one spec evaluation end to end (dynamics
+// build, pooled simulator run, predicate check) — the per-scenario unit
+// cost a million-scenario campaign pays.
+func BenchmarkOracleRun(b *testing.B) {
+	for _, family := range []string{"static", "bernoulli", "markov"} {
+		b.Run(family, func(b *testing.B) {
+			s := steadySpec(600)
+			s.Family = family
+			switch family {
+			case "bernoulli":
+				s.Params.P = 0.6
+			case "markov":
+				s.Params.Up, s.Params.Down = 0.4, 0.25
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v := Run(s); !v.OK {
+					b.Fatalf("spec failed: %+v", v)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaign measures a small sharded campaign through the worker
+// pool, the full path of cmd/pefscenarios.
+func BenchmarkCampaign(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := RunCampaign(context.Background(), CampaignConfig{
+					Generator: "uniform",
+					Count:     64,
+					Seeds:     []uint64{1},
+					Workers:   workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(c.Verdicts) != 64 {
+					b.Fatalf("campaign produced %d verdicts", len(c.Verdicts))
+				}
+			}
+		})
+	}
+}

@@ -129,8 +129,23 @@ func buildDynamics(s Spec) (fsync.Dynamics, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Family == "markov" {
+		// The materialized Family build retains O(horizon) edge sets; the
+		// streaming chain is bit-identical and holds only a bounded window,
+		// which is what lets campaigns scale to very long horizons.
+		g, err := dynamics.NewMarkovStream(s.Ring, s.Params.Up, s.Params.Down, s.Seed, markovWindow)
+		if err != nil {
+			return nil, err
+		}
+		return fsync.Oblivious{G: g}, nil
+	}
 	return fsync.Oblivious{G: wl.Build(s.Ring, s.Seed)}, nil
 }
+
+// markovWindow is the sliding-window size of streaming markov runs; the
+// simulator reads only the current instant, so a handful of retained
+// snapshots is plenty.
+const markovWindow = 8
 
 // confineLimit returns the confinement bound a theorem adversary enforces.
 func confineLimit(family string) int {
@@ -139,6 +154,18 @@ func confineLimit(family string) int {
 	}
 	return 3 // Theorem 4.1: two robots visit at most three nodes
 }
+
+// evaluator bundles the per-spec checkers a campaign worker reuses from
+// spec to spec; together with the fsync simulator pool it makes the
+// steady-state per-round cost of a campaign allocation-free.
+type evaluator struct {
+	vt *spec.VisitTracker
+	ct *spec.ConfinementTracker
+}
+
+var evalPool = sync.Pool{New: func() any {
+	return &evaluator{vt: spec.NewVisitTracker(1), ct: spec.NewConfinementTracker()}
+}}
 
 // Run executes the spec and checks the paper's predicate. It never
 // panics: invalid specs and diverging runs come back as error verdicts,
@@ -169,9 +196,12 @@ func Run(s Spec) (v Verdict) {
 		v.Err = err.Error()
 		return v
 	}
-	vt := spec.NewVisitTracker(s.Ring)
-	ct := spec.NewConfinementTracker()
-	sim, err := fsync.New(fsync.Config{
+	ev := evalPool.Get().(*evaluator)
+	defer evalPool.Put(ev)
+	vt, ct := ev.vt, ev.ct
+	vt.Reset(s.Ring)
+	ct.Reset()
+	sim, err := fsync.Acquire(fsync.Config{
 		Algorithm:  alg,
 		Dynamics:   dyn,
 		Placements: placements(s),
@@ -182,6 +212,7 @@ func Run(s Spec) (v Verdict) {
 		return v
 	}
 	sim.Run(s.Horizon)
+	sim.Release()
 	rep := vt.Report()
 	v.Covered, v.CoverTime, v.MaxGap = rep.Covered, rep.CoverTime, rep.MaxGap
 	v.Distinct = ct.Distinct()

@@ -6,6 +6,7 @@ import (
 
 	"pef/internal/fsync"
 	"pef/internal/ring"
+	"pef/internal/robot"
 )
 
 // event fabricates a RoundEvent transitioning between two position vectors
@@ -16,7 +17,7 @@ func event(t int, n int, before, after []int, dirsAfter []ring.Direction) fsync.
 			T:          tt,
 			Positions:  append([]int(nil), pos...),
 			GlobalDirs: make([]ring.Direction, len(pos)),
-			States:     make([]string, len(pos)),
+			States:     make([]robot.StateCode, len(pos)),
 			MovedPrev:  make([]bool, len(pos)),
 		}
 		for i := range s.GlobalDirs {

@@ -35,17 +35,37 @@ type VisitTracker struct {
 
 // NewVisitTracker creates a tracker for an n-node ring.
 func NewVisitTracker(n int) *VisitTracker {
-	vt := &VisitTracker{
-		n:         n,
-		visits:    make([]int, n),
-		lastVisit: make([]int, n),
-		maxGap:    make([]int, n),
-		coverTime: -1,
-	}
-	for i := range vt.lastVisit {
-		vt.lastVisit[i] = -1
-	}
+	vt := &VisitTracker{}
+	vt.Reset(n)
 	return vt
+}
+
+// Reset re-arms the tracker for a fresh run over an n-node ring, reusing
+// its backing slices where capacities allow — the pooling hook for
+// million-scenario campaigns.
+func (vt *VisitTracker) Reset(n int) {
+	vt.n = n
+	vt.horizon = 0
+	vt.coverTime = -1
+	vt.covered = 0
+	vt.primed = false
+	vt.visits = resizeInts(vt.visits, n)
+	vt.lastVisit = resizeInts(vt.lastVisit, n)
+	vt.maxGap = resizeInts(vt.maxGap, n)
+	for i := 0; i < n; i++ {
+		vt.visits[i] = 0
+		vt.lastVisit[i] = -1
+		vt.maxGap[i] = 0
+	}
+}
+
+// resizeInts returns a slice of length n reusing s's backing array when
+// possible.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // ObserveRound implements fsync.Observer.
@@ -59,12 +79,19 @@ func (vt *VisitTracker) ObserveRound(ev fsync.RoundEvent) {
 
 func (vt *VisitTracker) recordConfig(snap fsync.Snapshot) {
 	vt.horizon = snap.T + 1
-	seen := map[int]bool{}
-	for _, node := range snap.Positions {
-		if seen[node] {
+	for pi, node := range snap.Positions {
+		// Count each node once per instant even when a tower stands on it
+		// (k is tiny, so the quadratic rescan beats a per-round set).
+		dup := false
+		for _, prev := range snap.Positions[:pi] {
+			if prev == node {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[node] = true
 		if vt.lastVisit[node] < 0 {
 			vt.covered++
 			if vt.covered == vt.n && vt.coverTime < 0 {
@@ -186,6 +213,14 @@ type ConfinementTracker struct {
 // NewConfinementTracker creates an empty tracker.
 func NewConfinementTracker() *ConfinementTracker {
 	return &ConfinementTracker{visited: make(map[int]bool)}
+}
+
+// Reset re-arms the tracker for a fresh run, reusing the visited map and
+// series storage.
+func (ct *ConfinementTracker) Reset() {
+	clear(ct.visited)
+	ct.series = ct.series[:0]
+	ct.primed = false
 }
 
 // ObserveRound implements fsync.Observer.

@@ -98,18 +98,24 @@ type Round struct {
 	Flipped   []bool   `json:"flipped"`
 }
 
-// FromEvent converts a round event to its serializable form.
+// FromEvent converts a round event to its serializable form. This is the
+// trace boundary where compact robot.StateCode values are rendered into
+// their classic string encodings.
 func FromEvent(ev fsync.RoundEvent) Round {
 	dirs := make([]string, len(ev.After.GlobalDirs))
 	for i, d := range ev.After.GlobalDirs {
 		dirs[i] = d.String()
+	}
+	states := make([]string, len(ev.After.States))
+	for i, s := range ev.After.States {
+		states[i] = s.String()
 	}
 	return Round{
 		T:         ev.T,
 		Edges:     ev.Edges.Edges(),
 		Positions: append([]int(nil), ev.After.Positions...),
 		Dirs:      dirs,
-		States:    append([]string(nil), ev.After.States...),
+		States:    states,
 		Moved:     append([]bool(nil), ev.Moved...),
 		Flipped:   append([]bool(nil), ev.Flipped...),
 	}

@@ -64,7 +64,7 @@ func TestSpaceTimeTowerRendering(t *testing.T) {
 		GlobalDirs: []ring.Direction{
 			ring.CW, ring.CCW,
 		},
-		States:    []string{"s", "s"},
+		States:    []robot.StateCode{{}, {}},
 		MovedPrev: []bool{false, false},
 	}
 	g := dyngraph.NewRecorded(3)
@@ -145,7 +145,7 @@ func TestFromEventCopies(t *testing.T) {
 		After: fsync.Snapshot{
 			Positions:  []int{2},
 			GlobalDirs: []ring.Direction{ring.CW},
-			States:     []string{"dir=left"},
+			States:     []robot.StateCode{robot.DirState(robot.Left)},
 		},
 		Moved:   []bool{true},
 		Flipped: []bool{false},
