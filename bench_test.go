@@ -123,7 +123,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 				continue
 			}
 			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
-				rep, err := Explore(ExploreConfig{
+				rep, err := Explore(context.Background(), ExploreConfig{
 					Robots:    k,
 					Algorithm: PEF3Plus(),
 					Dynamics:  Bernoulli(n, 0.5, 99),

@@ -21,8 +21,12 @@
 //	-timings    add per-job wall times to -json output (non-deterministic;
 //	            feeds pefbenchdiff's wall-time comparison)
 //	-only ID    restrict to a single experiment (combines with -seeds)
-//	-shard      split heavy ring-size sweeps into per-ring-size jobs, so
-//	            a single experiment no longer serializes on one worker
+//	-shard      split heavy ring-size sweeps into per-(ring, victim) jobs
+//	            so no single experiment serializes on one worker. On by
+//	            default since the report consumers migrated to the finer
+//	            row IDs (E-T1.R1#n=4, E-T1.R2#n=4/a=keep-direction, …);
+//	            pass -shard=false for the coarse one-row-per-experiment
+//	            tables.
 //	-quick      reduced horizons and sweeps
 //
 // The process exits non-zero when any (experiment, seed) job errors or
@@ -58,7 +62,7 @@ func run(args []string, stdout io.Writer) error {
 		jsonOut = fs.Bool("json", false, "emit the sweep as JSON")
 		timings = fs.Bool("timings", false, "include per-job wall times in -json output (non-deterministic; for pefbenchdiff)")
 		quick   = fs.Bool("quick", false, "reduced horizons and sweeps")
-		shard   = fs.Bool("shard", false, "split heavy ring-size sweeps into per-ring-size jobs")
+		shard   = fs.Bool("shard", true, "split heavy ring-size sweeps into per-ring-size jobs (-shard=false for coarse rows)")
 		only    = fs.String("only", "", "run a single experiment by ID (e.g. E-F2)")
 	)
 	if err := fs.Parse(args); err != nil {

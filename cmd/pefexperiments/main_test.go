@@ -104,3 +104,28 @@ func TestFailureDrivesExitCode(t *testing.T) {
 		t.Errorf("erroring job must surface its error, got %v", err)
 	}
 }
+
+// TestShardDefaultOn pins the ROADMAP migration: heavy ring-size sweeps
+// decompose into per-(ring, victim) jobs by default, with -shard=false as
+// the coarse-row escape hatch.
+func TestShardDefaultOn(t *testing.T) {
+	render := func(extra ...string) string {
+		var buf bytes.Buffer
+		args := append([]string{"-quick", "-seeds", "2", "-only", "E-T1.R1"}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return buf.String()
+	}
+	sharded := render()
+	if !strings.Contains(sharded, "E-T1.R1#n=") {
+		t.Fatalf("default run lacks sharded row IDs:\n%.400s", sharded)
+	}
+	coarse := render("-shard=false")
+	if strings.Contains(coarse, "E-T1.R1#n=") {
+		t.Fatalf("-shard=false still shards:\n%.400s", coarse)
+	}
+	if !strings.Contains(coarse, "E-T1.R1") {
+		t.Fatal("-shard=false lost the experiment row")
+	}
+}

@@ -3,25 +3,40 @@
 // algorithm, placement, dynamics family and parameters, horizon), each
 // sample runs through the simulator, and the oracle checks the paper's
 // predicates — exploration where Table 1 says possible, confinement where
-// its adversaries apply. Campaigns shard across the batch worker pool and
-// their output is byte-identical for any worker count.
+// its adversaries apply. Campaigns stream through the batch worker pool
+// with bounded memory (verdicts fold into an online aggregate, never a
+// slice) and their output is byte-identical for any worker count.
 //
 //	pefscenarios                               # 100 uniform scenarios, seed 1
 //	pefscenarios -count 1000 -seeds 4          # 4000 scenarios, seeds 1..4
 //	pefscenarios -family boundary -json        # machine-readable sweep output
 //	pefscenarios -list                         # list the generator families
 //
+//	# checkpoint/resume: run half, stop, resume — final report identical
+//	pefscenarios -count 1000 -checkpoint c.json -halt-after 500
+//	pefscenarios -resume c.json
+//
 // Flags:
 //
-//	-count N    scenarios generated per seed (default 100)
-//	-seed N     base generator seed (default 1)
-//	-seeds N    sweep N consecutive generator seeds starting at -seed
-//	-workers M  worker pool size; <1 means GOMAXPROCS. Output is
-//	            byte-identical for any worker count.
-//	-family F   generator family: uniform, boundary, markov, adversarial
-//	-maxring N  largest sampled ring size (default 16)
-//	-json       emit the versioned campaign document (for BENCH_*.json)
-//	-list       list the generator families and exit
+//	-count N         scenarios generated per seed (default 100)
+//	-seed N          base generator seed (default 1)
+//	-seeds N         sweep N consecutive generator seeds starting at -seed
+//	-workers M       worker pool size; <1 means GOMAXPROCS. Output is
+//	                 byte-identical for any worker count.
+//	-family F        generator family: uniform, boundary, markov, adversarial
+//	-maxring N       largest sampled ring size (default 16)
+//	-json            emit the versioned campaign document (for BENCH_*.json)
+//	-list            list the generator families and exit
+//	-checkpoint P    write a resumable campaign checkpoint to P when the
+//	                 campaign finishes or halts
+//	-halt-after N    stop after aggregating N scenarios (requires
+//	                 -checkpoint; simulates a kill for resume testing)
+//	-resume P        continue the campaign checkpointed at P: its
+//	                 generator, bounds, count and seeds are adopted, the
+//	                 finished prefix is skipped, and the final report is
+//	                 byte-identical to an uninterrupted run
+//	-minimize        shrink each violation to a minimal reproducer and
+//	                 append it to the report (report mode only)
 //
 // The process exits non-zero when any scenario violates its predicate or
 // errors, so CI can trust the exit code.
@@ -48,14 +63,18 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pefscenarios", flag.ContinueOnError)
 	var (
-		count   = fs.Int("count", 100, "scenarios generated per seed")
-		seed    = fs.Uint64("seed", 1, "base generator seed")
-		seeds   = fs.Int("seeds", 1, "number of consecutive generator seeds, starting at -seed")
-		workers = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
-		family  = fs.String("family", "uniform", "generator family (see -list)")
-		maxRing = fs.Int("maxring", 16, "largest sampled ring size")
-		jsonOut = fs.Bool("json", false, "emit the versioned campaign document")
-		list    = fs.Bool("list", false, "list the generator families and exit")
+		count      = fs.Int("count", 100, "scenarios generated per seed")
+		seed       = fs.Uint64("seed", 1, "base generator seed")
+		seeds      = fs.Int("seeds", 1, "number of consecutive generator seeds, starting at -seed")
+		workers    = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
+		family     = fs.String("family", "uniform", "generator family (see -list)")
+		maxRing    = fs.Int("maxring", 16, "largest sampled ring size")
+		jsonOut    = fs.Bool("json", false, "emit the versioned campaign document")
+		list       = fs.Bool("list", false, "list the generator families and exit")
+		checkpoint = fs.String("checkpoint", "", "write a resumable checkpoint to this path on finish or halt")
+		haltAfter  = fs.Int("halt-after", 0, "stop after aggregating this many scenarios (requires -checkpoint)")
+		resume     = fs.String("resume", "", "resume the campaign checkpointed at this path")
+		minimize   = fs.Bool("minimize", false, "append a minimal reproducer per violation (report mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,26 +91,107 @@ func run(args []string, stdout io.Writer) error {
 	if *seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
 	}
+	if *haltAfter < 0 {
+		return fmt.Errorf("-halt-after must be >= 0, got %d", *haltAfter)
+	}
+	if *haltAfter > 0 && *checkpoint == "" {
+		return fmt.Errorf("-halt-after requires -checkpoint (a halted campaign without one is unrecoverable)")
+	}
+	if *minimize && *jsonOut {
+		return fmt.Errorf("-minimize applies to the report mode, not -json")
+	}
 
-	c, err := scenario.RunCampaign(context.Background(), scenario.CampaignConfig{
-		Generator: *family,
-		Gen:       scenario.GenConfig{MaxRing: *maxRing},
-		Count:     *count,
-		Seeds:     harness.Seeds(*seed, *seeds),
-		Workers:   *workers,
-	})
+	// When resuming, the campaign identity comes from the checkpoint;
+	// explicitly set flags still apply (and conflicts are rejected), but
+	// flag *defaults* must not shadow the checkpointed values.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	cfg := scenario.CampaignConfig{Workers: *workers}
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			return err
+		}
+		ckpt, err := scenario.DecodeCheckpoint(data)
+		if err != nil {
+			return err
+		}
+		cfg.Resume = ckpt
+	}
+	if *resume == "" || explicit["family"] {
+		cfg.Generator = *family
+	}
+	if *resume == "" || explicit["count"] {
+		cfg.Count = *count
+	}
+	if *resume == "" || explicit["seed"] || explicit["seeds"] {
+		cfg.Seeds = harness.Seeds(*seed, *seeds)
+	}
+	if *resume == "" || explicit["maxring"] {
+		cfg.Gen = scenario.GenConfig{MaxRing: *maxRing}
+	}
+
+	agg, err := scenario.NewAggregate(cfg)
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
-		if err := c.WriteJSON(stdout); err != nil {
+	halted := false
+	for v, serr := range scenario.StreamCampaign(context.Background(), cfg) {
+		if serr != nil && v.ID == "" {
+			return serr // configuration failure: nothing ran
+		}
+		agg.Add(v)
+		if *haltAfter > 0 && agg.Done()-startOf(cfg) >= *haltAfter {
+			halted = true
+			break
+		}
+	}
+	if *checkpoint != "" {
+		data, err := agg.Checkpoint().Encode()
+		if err != nil {
 			return err
 		}
-	} else if err := c.WriteReport(stdout); err != nil {
+		if err := os.WriteFile(*checkpoint, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if halted {
+		fmt.Fprintf(stdout, "halted after %d of %d scenarios; resume with -resume %s\n",
+			agg.Done(), agg.Count*len(agg.Seeds), *checkpoint)
+		return nil
+	}
+
+	if *jsonOut {
+		if err := agg.WriteJSON(stdout); err != nil {
+			return err
+		}
+	} else if err := agg.WriteReport(stdout); err != nil {
 		return err
 	}
-	if violations := len(c.Violations()); violations > 0 {
-		return fmt.Errorf("%d of %d scenario(s) violate the paper's predicates", violations, len(c.Verdicts))
+	violations := agg.Violations()
+	if *minimize {
+		for _, v := range violations {
+			m := scenario.Minimize(v.Spec)
+			if _, err := fmt.Fprintf(stdout, "\nminimal reproducer for %s:\n  %s\n", v.ID, m.ID()); err != nil {
+				return err
+			}
+			if enc, err := m.Encode(); err == nil {
+				if _, err := fmt.Fprintf(stdout, "  %s\n", enc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d of %d scenario(s) violate the paper's predicates", len(violations), agg.Done())
 	}
 	return nil
+}
+
+// startOf returns the number of scenarios a resumed campaign starts from.
+func startOf(cfg scenario.CampaignConfig) int {
+	if cfg.Resume != nil {
+		return cfg.Resume.Done
+	}
+	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -64,5 +65,78 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-maxring", "3"}, &bytes.Buffer{}); err == nil {
 		t.Error("want error for -maxring below 4")
+	}
+}
+
+// TestCheckpointHaltResumeRoundTrip is the CLI-level resume-determinism
+// contract CI enforces: halt a campaign partway with a checkpoint, resume
+// it, and the final report must be byte-identical to an uninterrupted run
+// — in both output modes and across worker counts.
+func TestCheckpointHaltResumeRoundTrip(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "campaign.ckpt.json")
+	base := []string{"-family", "boundary", "-count", "40", "-seeds", "2", "-maxring", "8"}
+
+	var uninterrupted bytes.Buffer
+	if err := run(append([]string{"-workers", "2"}, base...), &uninterrupted); err != nil {
+		t.Fatal(err)
+	}
+
+	var halted bytes.Buffer
+	if err := run(append([]string{"-checkpoint", ckpt, "-halt-after", "33", "-workers", "1"}, base...), &halted); err != nil {
+		t.Fatalf("halted run failed: %v", err)
+	}
+	if !strings.Contains(halted.String(), "halted after 33 of 80 scenarios") {
+		t.Fatalf("halt note missing:\n%s", halted.String())
+	}
+
+	var resumed bytes.Buffer
+	if err := run([]string{"-resume", ckpt, "-workers", "4"}, &resumed); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	if resumed.String() != uninterrupted.String() {
+		t.Fatalf("resumed report differs from uninterrupted run:\n%s\n--- want ---\n%s",
+			resumed.String(), uninterrupted.String())
+	}
+
+	// A finished campaign's checkpoint covers everything; resuming it runs
+	// zero scenarios and still reproduces the report.
+	full := filepath.Join(t.TempDir(), "full.ckpt.json")
+	var again bytes.Buffer
+	if err := run(append([]string{"-checkpoint", full}, base...), &again); err != nil {
+		t.Fatal(err)
+	}
+	var replay bytes.Buffer
+	if err := run([]string{"-resume", full}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	if replay.String() != uninterrupted.String() {
+		t.Fatal("replaying a complete checkpoint changed the report")
+	}
+}
+
+// TestResumeRejectsConflictingFlags checks explicitly set flags are
+// validated against the checkpoint instead of silently diverging.
+func TestResumeRejectsConflictingFlags(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "c.json")
+	if err := run([]string{"-family", "boundary", "-count", "10", "-maxring", "8", "-checkpoint", ckpt, "-halt-after", "5"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-resume", ckpt, "-family", "uniform"}, &bytes.Buffer{}); err == nil {
+		t.Error("conflicting -family accepted on resume")
+	}
+	if err := run([]string{"-resume", ckpt, "-count", "99"}, &bytes.Buffer{}); err == nil {
+		t.Error("conflicting -count accepted on resume")
+	}
+	if err := run([]string{"-resume", filepath.Join(t.TempDir(), "missing.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing checkpoint file accepted")
+	}
+}
+
+func TestHaltAndMinimizeFlagValidation(t *testing.T) {
+	if err := run([]string{"-halt-after", "5"}, &bytes.Buffer{}); err == nil {
+		t.Error("-halt-after without -checkpoint accepted")
+	}
+	if err := run([]string{"-minimize", "-json"}, &bytes.Buffer{}); err == nil {
+		t.Error("-minimize with -json accepted")
 	}
 }

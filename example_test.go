@@ -1,6 +1,7 @@
 package pef_test
 
 import (
+	"context"
 	"fmt"
 
 	"pef"
@@ -9,7 +10,7 @@ import (
 // The possibility side of Table 1: three PEF_3+ robots perpetually explore
 // a ring whose edge vanishes forever — the paper's canonical hard case.
 func ExampleExplore() {
-	report, err := pef.Explore(pef.ExploreConfig{
+	report, err := pef.Explore(context.Background(), pef.ExploreConfig{
 		Robots:    3,
 		Algorithm: pef.PEF3Plus(),
 		Dynamics:  pef.EventualMissing(8, 2, 32, 7),
@@ -31,7 +32,7 @@ func ExampleExplore() {
 // deterministic robot — here the paper's own PEF_3+ run with one robot —
 // to two nodes of an 8-node ring.
 func ExampleConfineOneRobot() {
-	report, err := pef.ConfineOneRobot(pef.PEF3Plus(), 8, 512)
+	report, err := pef.ConfineOneRobot(context.Background(), pef.PEF3Plus(), 8, 512)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -45,7 +46,7 @@ func ExampleConfineOneRobot() {
 // Two robots fare no better on rings of size at least four: the four-phase
 // schedule of Theorem 4.1 (Figure 2) confines them to three nodes.
 func ExampleConfineTwoRobots() {
-	report, err := pef.ConfineTwoRobots(pef.PEF2(), 8, 512)
+	report, err := pef.ConfineTwoRobots(context.Background(), pef.PEF2(), 8, 512)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -59,7 +60,7 @@ func ExampleConfineTwoRobots() {
 // Explicit placements fix the initial configuration: the paper requires a
 // towerless start with fewer robots than nodes.
 func ExampleExplore_placements() {
-	report, err := pef.Explore(pef.ExploreConfig{
+	report, err := pef.Explore(context.Background(), pef.ExploreConfig{
 		Algorithm: pef.PEF3Plus(),
 		Dynamics:  pef.Static(6),
 		Horizon:   120,
@@ -76,4 +77,72 @@ func ExampleExplore_placements() {
 	fmt.Printf("cover time %d, max revisit gap %d\n", report.CoverTime, report.MaxGap)
 	// Output:
 	// cover time 1, max revisit gap 2
+}
+
+// The unified entry point: one declarative scenario, one context-aware
+// call, one structured verdict checked against the paper's prediction.
+func ExampleRun() {
+	verdict, err := pef.Run(context.Background(), pef.Scenario{
+		Version: 1, Ring: 8, Robots: 3, Algorithm: "pef3+", Placement: "even",
+		Family: "eventual-missing", Params: pef.ScenarioParams{Edge: 2, From: 32, P: 0.7, Delta: 4},
+		Horizon: 1600, Seed: 42,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("expect=%s outcome=%s ok=%t covered=%d/8\n",
+		verdict.Expect, verdict.Outcome, verdict.OK, verdict.Covered)
+	// Output:
+	// expect=explore outcome=explored ok=true covered=8/8
+}
+
+// Campaigns stream verdicts in canonical order with bounded memory: fold
+// them into a CampaignAggregate for reports (byte-identical to the
+// collected RunCampaign path) and checkpoint at any cut for resumption.
+func ExampleStreamCampaign() {
+	cfg := pef.CampaignConfig{
+		Generator: "boundary",
+		Gen:       pef.GenConfig{MaxRing: 8},
+		Count:     50,
+		Seeds:     []uint64{1, 2},
+		Workers:   2,
+	}
+	agg, err := pef.NewCampaignAggregate(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for verdict, err := range pef.StreamCampaign(context.Background(), cfg) {
+		if err != nil {
+			fmt.Println("stream error:", err)
+			return
+		}
+		agg.Add(verdict) // O(aggregate) memory, however long the campaign
+	}
+	fmt.Printf("%d scenarios, %d ok, %d violations\n",
+		agg.Done(), agg.OKCount(), len(agg.Violations()))
+	fmt.Printf("checkpoint covers %d scenarios\n", agg.Checkpoint().Done)
+	// Output:
+	// 100 scenarios, 100 ok, 0 violations
+	// checkpoint covers 100 scenarios
+}
+
+// Minimize shrinks a violating scenario to a minimal reproducer: here a
+// deliberately broken claim — the oscillator baseline forced under the
+// explore expectation — reduces from a 12-node, 2400-round scenario to a
+// 5-node, 6-round one that still fails, while the paper's own PEF_3+
+// still passes at the shrunk size (so the failure stays attributable).
+func ExampleMinimize() {
+	broken := pef.Scenario{
+		Version: 1, Ring: 12, Robots: 3, Algorithm: "oscillator",
+		Placement: "adjacent", Family: "static", Horizon: 2400, Seed: 7,
+		Expect: "explore",
+	}
+	minimal := pef.Minimize(broken)
+	fmt.Printf("minimal reproducer: %s\n", minimal.ID())
+	fmt.Printf("still violating: %t\n", !pef.RunScenario(minimal).OK)
+	// Output:
+	// minimal reproducer: v1/n5.k3/oscillator/adjacent/static/h6/s7/explore
+	// still violating: true
 }

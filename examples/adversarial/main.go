@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,11 +49,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		one, err := pef.ConfineOneRobot(alg, n, 400)
+		one, err := pef.ConfineOneRobot(context.Background(), alg, n, 400)
 		if err != nil {
 			log.Fatal(err)
 		}
-		two, err := pef.ConfineTwoRobots(alg, n, 400)
+		two, err := pef.ConfineTwoRobots(context.Background(), alg, n, 400)
 		if err != nil {
 			log.Fatal(err)
 		}

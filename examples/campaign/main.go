@@ -1,9 +1,12 @@
-// Campaign: a thousand generated scenarios sweep through the property
-// oracle. The boundary generator samples the computability threshold of
-// Table 1 — the minimal rings of PEF_1 and PEF_2, minimal-margin PEF_3+
-// teams, under-threshold teams, and the confinement adversaries of the
-// impossibility theorems — and every sample is checked against the paper's
-// prediction for it.
+// Campaign: a thousand generated scenarios stream through the property
+// oracle with bounded memory. The boundary generator samples the
+// computability threshold of Table 1 — the minimal rings of PEF_1 and
+// PEF_2, minimal-margin PEF_3+ teams, under-threshold teams, and the
+// confinement adversaries of the impossibility theorems — and every
+// sample is checked against the paper's prediction for it. Verdicts fold
+// one by one into an online aggregate (never a slice), a checkpoint is
+// cut halfway to show resumability, and any violation would be shrunk to
+// a minimal reproducer.
 //
 //	go run ./examples/campaign
 package main
@@ -18,24 +21,40 @@ import (
 )
 
 func main() {
-	const perSeed = 250 // 250 scenarios × 4 generator seeds = 1000
-
-	campaign, err := pef.RunCampaign(context.Background(), pef.CampaignConfig{
+	cfg := pef.CampaignConfig{
 		Generator: "boundary",
 		Gen:       pef.GenConfig{MaxRing: 12},
-		Count:     perSeed,
+		Count:     250, // 250 scenarios × 4 generator seeds = 1000
 		Seeds:     []uint64{1, 2, 3, 4},
-	})
+	}
+
+	// The streaming path: verdicts arrive in canonical order (identical
+	// for any worker count) and nothing is retained beyond the aggregate.
+	aggregate, err := pef.NewCampaignAggregate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	if err := campaign.WriteReport(os.Stdout); err != nil {
-		log.Fatal(err)
+	var checkpoint *pef.CampaignCheckpoint
+	for verdict, err := range pef.StreamCampaign(context.Background(), cfg) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		aggregate.Add(verdict)
+		if aggregate.Done() == 500 {
+			// Snapshot mid-campaign: resuming from this checkpoint
+			// reproduces the final report byte for byte.
+			checkpoint = aggregate.Checkpoint()
+		}
 	}
 
+	if err := aggregate.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmid-campaign checkpoint covered %d scenarios; CampaignConfig.Resume would finish the remaining %d.\n",
+		checkpoint.Done, aggregate.Done()-checkpoint.Done)
+
 	// A single scenario is just as declarative: encode it, ship it,
-	// replay it anywhere.
+	// replay it anywhere through the unified context-aware entry point.
 	specs, err := pef.GenerateScenarios("boundary", pef.GenConfig{MaxRing: 12}, 1, 1)
 	if err != nil {
 		log.Fatal(err)
@@ -46,11 +65,19 @@ func main() {
 	}
 	fmt.Printf("\nfirst generated spec (%s):\n%s\n", specs[0].ID(), encoded)
 
-	verdict := pef.RunScenario(specs[0])
+	verdict, err := pef.Run(context.Background(), specs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("replayed verdict: expect=%s outcome=%s ok=%t\n", verdict.Expect, verdict.Outcome, verdict.OK)
 
-	if violations := campaign.Violations(); len(violations) > 0 {
+	if violations := aggregate.Violations(); len(violations) > 0 {
+		// Counterexamples ship minimized: smallest ring, team, horizon and
+		// parameters that still violate the paper's prediction.
+		for _, v := range violations {
+			fmt.Printf("minimal reproducer: %s\n", pef.Minimize(v.Spec).ID())
+		}
 		log.Fatalf("%d scenario(s) violate the paper's predicates", len(violations))
 	}
-	fmt.Printf("\nall %d scenarios satisfy the paper's predicates.\n", len(campaign.Verdicts))
+	fmt.Printf("\nall %d scenarios satisfy the paper's predicates.\n", aggregate.Done())
 }

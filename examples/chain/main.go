@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 		seed     = 77
 	)
 
-	report, err := pef.Explore(pef.ExploreConfig{
+	report, err := pef.Explore(context.Background(), pef.ExploreConfig{
 		Nodes:     segments,
 		Robots:    robots,
 		Algorithm: pef.PEF3Plus(),

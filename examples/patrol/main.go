@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 	// shut, but no door can stay shut more than 4 consecutive rounds
 	// (fire regulations, say). This is the block-pointed stress adversary —
 	// the worst connected-over-time behaviour the theory still tolerates.
-	report, err := pef.Explore(pef.ExploreConfig{
+	report, err := pef.Explore(context.Background(), pef.ExploreConfig{
 		Nodes:     rooms,
 		Robots:    guards,
 		Algorithm: pef.PEF3Plus(),

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 		seed    = 42
 	)
 
-	report, err := pef.Explore(pef.ExploreConfig{
+	report, err := pef.Explore(context.Background(), pef.ExploreConfig{
 		Nodes:     nodes,
 		Robots:    robots,
 		Algorithm: pef.PEF3Plus(),

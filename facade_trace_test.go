@@ -1,6 +1,7 @@
 package pef
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -72,7 +73,7 @@ func TestPeriodicFacadeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Explore(ExploreConfig{
+	rep, err := Explore(context.Background(), ExploreConfig{
 		Robots: 2, Algorithm: PEF3Plus(), Dynamics: dyn, Horizon: 300, Seed: 9,
 	})
 	if err != nil {

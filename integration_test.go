@@ -1,6 +1,7 @@
 package pef
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 	"testing/quick"
@@ -55,7 +56,7 @@ func TestTowerLemmasHoldUnderRandomDynamics(t *testing.T) {
 func TestExplorationHoldsUnderRandomRecurrentDynamics(t *testing.T) {
 	prop := func(seed uint64, n8 uint8) bool {
 		n := int(n8%9) + 4 // 4..12
-		rep, err := Explore(ExploreConfig{
+		rep, err := Explore(context.Background(), ExploreConfig{
 			Robots:    3,
 			Algorithm: PEF3Plus(),
 			Dynamics: fsync.Oblivious{G: dynamics.NewBoundedRecurrence(
@@ -78,7 +79,7 @@ func TestExplorationHoldsUnderRandomRecurrentDynamics(t *testing.T) {
 func TestConfinementHoldsForRandomizedVictims(t *testing.T) {
 	prop := func(seed uint64, n8 uint8) bool {
 		n := int(n8%14) + 3 // 3..16
-		rep, err := ConfineOneRobot(baseline.LCGWalker{Seed: seed}, n, 48*n)
+		rep, err := ConfineOneRobot(context.Background(), baseline.LCGWalker{Seed: seed}, n, 48*n)
 		if err != nil {
 			return false
 		}
@@ -93,7 +94,7 @@ func TestConfinementHoldsForRandomizedVictims(t *testing.T) {
 func TestTwoRobotConfinementForRandomizedVictims(t *testing.T) {
 	prop := func(seed uint64, n8 uint8) bool {
 		n := int(n8%13) + 4 // 4..16
-		rep, err := ConfineTwoRobots(baseline.LCGWalker{Seed: seed}, n, 48*n)
+		rep, err := ConfineTwoRobots(context.Background(), baseline.LCGWalker{Seed: seed}, n, 48*n)
 		if err != nil {
 			return false
 		}
@@ -209,7 +210,7 @@ func TestChiralityIrrelevanceForExploration(t *testing.T) {
 			}
 			placements[i] = fsync.Placement{Node: 2 * i, Chirality: ch}
 		}
-		rep, err := Explore(ExploreConfig{
+		rep, err := Explore(context.Background(), ExploreConfig{
 			Algorithm:  PEF3Plus(),
 			Dynamics:   EventualMissing(n, 1, 16, uint64(mask)),
 			Horizon:    1600,

@@ -2,27 +2,41 @@ package harness
 
 import (
 	"context"
+	"iter"
 	"runtime"
 	"sync"
 )
 
-// PoolConfig parameterizes RunPool, the generic indexed worker pool behind
-// every batch-style sweep in this repository. The pool knows nothing about
-// experiments: jobs are plain indices 0..Total-1 and results are any type,
-// so the experiment index, scenario campaigns, and future workloads all
-// share one scheduling and determinism engine.
+// PoolConfig parameterizes StreamPool and RunPool, the generic indexed
+// worker pool behind every batch-style sweep in this repository. The pool
+// knows nothing about experiments: jobs are plain indices 0..Total-1 and
+// results are any type, so the experiment index, scenario campaigns, and
+// future workloads all share one scheduling and determinism engine.
 type PoolConfig[R any] struct {
 	// Total is the number of jobs, addressed 0..Total-1.
 	Total int
 	// Workers bounds the worker pool; values < 1 mean GOMAXPROCS.
 	Workers int
+	// Window bounds the reorder buffer: at most Window jobs are dispatched
+	// beyond the in-order emission cursor, so pool memory is O(Window)
+	// regardless of Total. Values < 1 mean 8× the worker count. Emission
+	// order — and therefore every report — is unaffected by the value.
+	Window int
 	// Run executes job i on a worker goroutine. It must contain its own
 	// panic recovery: the pool does not guess how to turn a panic into an
 	// R (see runJob for the experiment-index convention).
 	Run func(i int) R
+	// Feed, when non-nil, is invoked from the dispatching goroutine in
+	// strict index order immediately before job i is handed to a worker.
+	// It lets callers materialize job i's input lazily from a sequential
+	// stream (e.g. a seeded scenario sampler) while holding only a
+	// Window-sized buffer: Feed(i) happens-before Run(i), and slot i is
+	// not reused before job i-Window has been emitted.
+	Feed func(i int)
 	// Placeholder, when non-nil, builds the result slot of a job skipped
 	// by cancellation, so it still renders with its identity. It is only
-	// invoked for skipped jobs; executed jobs never see it.
+	// invoked for skipped jobs, in ascending index order, after every
+	// dispatched job has finished; executed jobs never see it.
 	Placeholder func(i int) R
 	// Cancelled, when non-nil, rewrites the (placeholder) result of a job
 	// that never ran because the context was cancelled.
@@ -30,104 +44,180 @@ type PoolConfig[R any] struct {
 	// OnResult, when non-nil, is invoked from the collecting goroutine
 	// in strict index order, as soon as every earlier job has finished.
 	// Emission order is therefore independent of the worker count. It
-	// covers the solid prefix only: after a cancellation, jobs that
-	// finished beyond the first skipped index appear in the returned
-	// slice but are not streamed.
+	// covers executed jobs only, never cancellation placeholders.
 	OnResult func(i int, r R)
 }
 
-// RunPool fans Total jobs out across a bounded worker pool and returns one
-// result per job in index order. Results are collected unordered but the
-// returned slice — and the OnResult callback sequence — is identical for
-// any worker count, so pool output is bit-for-bit reproducible.
+// PoolItem is one streamed pool result: the job index, its result, and a
+// non-nil Err exactly when the job never ran because the context was
+// cancelled (its R is then the Placeholder/Cancelled rewrite).
+type PoolItem[R any] struct {
+	I   int
+	R   R
+	Err error
+}
+
+// StreamPool fans Total jobs out across a bounded worker pool and yields
+// one PoolItem per job in strict index order. Results are collected
+// unordered but the yielded sequence is identical for any worker count,
+// so streamed output is bit-for-bit reproducible.
 //
-// RunPool itself fails only when ctx is cancelled, in which case in-flight
-// jobs finish, unstarted jobs keep their placeholder (rewritten by
-// Cancelled), and the partially-filled slice is returned alongside the
-// context error.
-func RunPool[R any](ctx context.Context, cfg PoolConfig[R]) ([]R, error) {
-	total := cfg.Total
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-
-	results := make([]R, total)
-	if total == 0 {
-		return results, ctx.Err()
-	}
-
-	type indexed struct {
-		i int
-		r R
-	}
-	jobs := make(chan int)
-	out := make(chan indexed)
-
-	// Feeder: stops handing out work as soon as ctx is cancelled.
-	go func() {
-		defer close(jobs)
-		for i := 0; i < total; i++ {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
-			}
+// Unlike a collect-then-report pool, StreamPool holds O(Window) state: a
+// permit scheme stops the dispatcher from running more than Window jobs
+// ahead of the emission cursor, and emitted results are dropped
+// immediately. Consumers that need the full slice use RunPool.
+//
+// On cancellation, in-flight jobs finish and are yielded normally; jobs
+// that never started are yielded afterwards, still in index order, with
+// Err set to the context's error and their R built by Placeholder and
+// rewritten by Cancelled. Breaking out of the iteration early cancels the
+// remaining work and returns after in-flight jobs drain.
+func StreamPool[R any](ctx context.Context, cfg PoolConfig[R]) iter.Seq[PoolItem[R]] {
+	return func(yield func(PoolItem[R]) bool) {
+		total := cfg.Total
+		if total <= 0 {
+			return
 		}
-	}()
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > total {
+			workers = total
+		}
+		window := cfg.Window
+		if window < 1 {
+			window = 8 * workers
+		}
+		if window < workers {
+			window = workers
+		}
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		inner, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		type indexed struct {
+			i int
+			r R
+		}
+		jobs := make(chan int)
+		out := make(chan indexed)
+		// permits carries the dispatch budget: the dispatcher consumes one
+		// token per job and the emitter refunds one per yielded result, so
+		// at most window jobs ever sit between dispatch and emission.
+		permits := make(chan struct{}, window)
+		for i := 0; i < window; i++ {
+			permits <- struct{}{}
+		}
+
+		// Dispatcher: hands out indices in order, stopping as soon as the
+		// context is cancelled. Feed runs here, single-threaded and in
+		// index order; the jobs-channel send publishes its effects to the
+		// worker running the job.
 		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				// The send is unconditional: the collector drains out
-				// until it closes, so even on cancellation a finished
-				// job's result is never dropped — "in-flight jobs
-				// finish" and their results land in the slice.
-				out <- indexed{i, cfg.Run(i)}
+			defer close(jobs)
+			for i := 0; i < total; i++ {
+				select {
+				case <-permits:
+				case <-inner.Done():
+					return
+				}
+				if cfg.Feed != nil {
+					cfg.Feed(i)
+				}
+				select {
+				case jobs <- i:
+				case <-inner.Done():
+					return
+				}
 			}
 		}()
-	}
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
 
-	// Collector: a reorder buffer over the unordered completions. next is
-	// the index-order cursor; OnResult fires the moment the prefix is solid.
-	done := make([]bool, total)
-	next := 0
-	for ir := range out {
-		results[ir.i] = ir.r
-		done[ir.i] = true
-		for next < total && done[next] {
-			if cfg.OnResult != nil {
-				cfg.OnResult(next, results[next])
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					// The send is unconditional: the emitter drains out
+					// until it closes, so even on cancellation a finished
+					// job's result is never dropped — "in-flight jobs
+					// finish" and their results are yielded.
+					out <- indexed{i, cfg.Run(i)}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(out)
+		}()
+
+		// Emitter: a Window-sized reorder ring over the unordered
+		// completions. Dispatch is sequential and bounded by the permit
+		// scheme, so slot i%window is free by the time job i's result
+		// arrives. next is the index-order cursor.
+		ring := make([]R, window)
+		done := make([]bool, window)
+		next := 0
+		stopped := false
+		for ir := range out {
+			ring[ir.i%window] = ir.r
+			done[ir.i%window] = true
+			for next < total && done[next%window] {
+				slot := next % window
+				r := ring[slot]
+				done[slot] = false
+				var zero R
+				ring[slot] = zero // drop the reference immediately
+				if !stopped && !yield(PoolItem[R]{I: next, R: r}) {
+					stopped = true
+					cancel() // consumer left: stop dispatching, drain below
+				}
+				next++
+				permits <- struct{}{}
 			}
-			next++
+		}
+		if stopped {
+			return
+		}
+
+		// Dispatched jobs all finished and were yielded; anything left
+		// never ran. The dispatcher has exited (close(out) orders after
+		// it), so Placeholder may safely continue any sequential stream
+		// Feed was drawing from.
+		if err := ctx.Err(); err != nil {
+			for i := next; i < total; i++ {
+				var r R
+				if cfg.Placeholder != nil {
+					r = cfg.Placeholder(i)
+				}
+				if cfg.Cancelled != nil {
+					r = cfg.Cancelled(i, r, err)
+				}
+				if !yield(PoolItem[R]{I: i, R: r, Err: err}) {
+					return
+				}
+			}
 		}
 	}
+}
 
-	if err := ctx.Err(); err != nil {
-		for i := range results {
-			if done[i] {
-				continue
-			}
-			var r R
-			if cfg.Placeholder != nil {
-				r = cfg.Placeholder(i)
-			}
-			if cfg.Cancelled != nil {
-				r = cfg.Cancelled(i, r, err)
-			}
-			results[i] = r
+// RunPool fans Total jobs out across a bounded worker pool and returns one
+// result per job in index order. It is StreamPool collected into a slice:
+// results — and the OnResult callback sequence — are identical for any
+// worker count, so pool output is bit-for-bit reproducible.
+//
+// RunPool itself fails only when ctx is cancelled, in which case in-flight
+// jobs finish, unstarted jobs carry their Placeholder result (rewritten by
+// Cancelled), and the partially-executed slice is returned alongside the
+// context error.
+func RunPool[R any](ctx context.Context, cfg PoolConfig[R]) ([]R, error) {
+	results := make([]R, cfg.Total)
+	for item := range StreamPool(ctx, cfg) {
+		results[item.I] = item.R
+		if item.Err == nil && cfg.OnResult != nil {
+			cfg.OnResult(item.I, item.R)
 		}
-		return results, err
 	}
-	return results, nil
+	return results, ctx.Err()
 }

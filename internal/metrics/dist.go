@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Dist is a bounded online distribution of integer observations: a
+// value→count table plus a running count and sum. Its memory grows with
+// the number of *distinct* values observed, never with the number of
+// observations, which is what lets streaming campaign aggregation hold
+// O(aggregate) state over million-scenario verdict streams. Summary is
+// bit-identical to Summarize over the same multiset, so swapping stored
+// sample slices for a Dist changes no rendered report byte.
+//
+// The zero Dist is not usable; create with NewDist.
+type Dist struct {
+	counts map[int]int
+	count  int
+	sum    int
+}
+
+// NewDist creates an empty distribution.
+func NewDist() *Dist {
+	return &Dist{counts: make(map[int]int)}
+}
+
+// Add records one observation of v.
+func (d *Dist) Add(v int) { d.AddN(v, 1) }
+
+// AddN records n observations of v. Non-positive n is a no-op.
+func (d *Dist) AddN(v, n int) {
+	if n <= 0 {
+		return
+	}
+	d.counts[v] += n
+	d.count += n
+	d.sum += v * n
+}
+
+// Merge folds every observation of o into d. Merging is commutative and
+// associative: any partition of a stream merged in any order yields the
+// same distribution, the property checkpoint/resume relies on.
+func (d *Dist) Merge(o *Dist) {
+	if o == nil {
+		return
+	}
+	for v, n := range o.counts {
+		d.AddN(v, n)
+	}
+}
+
+// Count returns the number of observations.
+func (d *Dist) Count() int { return d.count }
+
+// Distinct returns the number of distinct observed values — the memory
+// footprint the aggregation guards assert is bounded.
+func (d *Dist) Distinct() int { return len(d.counts) }
+
+// sortedValues returns the distinct observed values in ascending order.
+func (d *Dist) sortedValues() []int {
+	keys := make([]int, 0, len(d.counts))
+	for v := range d.counts {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Values expands the distribution into the ascending multiset of
+// observations (each value repeated by its count).
+func (d *Dist) Values() []int {
+	out := make([]int, 0, d.count)
+	for _, v := range d.sortedValues() {
+		for i := 0; i < d.counts[v]; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// at returns the i-th element (0-based) of the ascending multiset, using
+// the cumulative counts over keys.
+func at(keys []int, counts map[int]int, i int) int {
+	seen := 0
+	for _, v := range keys {
+		seen += counts[v]
+		if i < seen {
+			return v
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Summary condenses the distribution exactly like Summarize over the same
+// multiset: identical Count/Min/Max, the same integer-summed Mean, and
+// the same linearly interpolated Median and P95.
+func (d *Dist) Summary() Summary {
+	if d.count == 0 {
+		return Summary{}
+	}
+	keys := d.sortedValues()
+	return Summary{
+		Count:  d.count,
+		Min:    keys[0],
+		Max:    keys[len(keys)-1],
+		Mean:   float64(d.sum) / float64(d.count),
+		Median: d.quantile(keys, 0.5),
+		P95:    d.quantile(keys, 0.95),
+	}
+}
+
+// quantile mirrors percentile over the ascending multiset: the same
+// position arithmetic and the same interpolation expression, so the float
+// results are bit-identical.
+func (d *Dist) quantile(keys []int, p float64) float64 {
+	if d.count == 1 {
+		return float64(keys[0])
+	}
+	pos := p * float64(d.count-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= d.count {
+		return float64(keys[len(keys)-1])
+	}
+	frac := pos - float64(lo)
+	return float64(at(keys, d.counts, lo))*(1-frac) + float64(at(keys, d.counts, hi))*frac
+}
+
+// DistEntry is one (value, count) cell of a serialized distribution.
+type DistEntry struct {
+	Value int `json:"v"`
+	Count int `json:"n"`
+}
+
+// Entries returns the distribution as (value, count) pairs in ascending
+// value order — the canonical serialized form used by campaign
+// checkpoints.
+func (d *Dist) Entries() []DistEntry {
+	out := make([]DistEntry, 0, len(d.counts))
+	for _, v := range d.sortedValues() {
+		out = append(out, DistEntry{Value: v, Count: d.counts[v]})
+	}
+	return out
+}
+
+// DistFromEntries rebuilds a distribution from serialized entries. It
+// rejects non-positive counts so corrupt checkpoints fail loudly.
+func DistFromEntries(entries []DistEntry) (*Dist, error) {
+	d := NewDist()
+	for _, e := range entries {
+		if e.Count <= 0 {
+			return nil, fmt.Errorf("metrics: distribution entry for value %d has non-positive count %d", e.Value, e.Count)
+		}
+		d.AddN(e.Value, e.Count)
+	}
+	return d, nil
+}
+
+// MarshalJSON encodes the distribution as its canonical entry list.
+func (d *Dist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.Entries())
+}
+
+// UnmarshalJSON decodes the canonical entry list.
+func (d *Dist) UnmarshalJSON(data []byte) error {
+	var entries []DistEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return err
+	}
+	nd, err := DistFromEntries(entries)
+	if err != nil {
+		return err
+	}
+	*d = *nd
+	return nil
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"pef/internal/prng"
+)
+
+// TestDistSummaryMatchesSummarize is the substitution property the sweep
+// rework rests on: for any multiset, Dist.Summary must be bit-identical to
+// Summarize over the sample slice — including the interpolated quantiles.
+func TestDistSummaryMatchesSummarize(t *testing.T) {
+	src := prng.NewSource(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(60)
+		xs := make([]int, n)
+		d := NewDist()
+		for i := range xs {
+			xs[i] = src.Intn(12) - 3 // collisions and negatives on purpose
+			d.Add(xs[i])
+		}
+		if got, want := d.Summary(), Summarize(xs); got != want {
+			t.Fatalf("trial %d: Dist.Summary() = %+v, Summarize = %+v (xs=%v)", trial, got, want, xs)
+		}
+	}
+	if got := NewDist().Summary(); got != (Summary{}) {
+		t.Fatalf("empty dist summary = %+v", got)
+	}
+}
+
+// TestDistMergeOrderIndependent checks the checkpoint/resume property:
+// any partition of a stream, merged in any order, yields the same
+// distribution.
+func TestDistMergeOrderIndependent(t *testing.T) {
+	a, b, whole := NewDist(), NewDist(), NewDist()
+	for i := 0; i < 100; i++ {
+		v := (i * 7) % 13
+		whole.Add(v)
+		if i%3 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	ba := NewDist()
+	ba.Merge(b)
+	ba.Merge(a)
+	ab := NewDist()
+	ab.Merge(a)
+	ab.Merge(b)
+	for _, m := range []*Dist{ab, ba} {
+		if m.Summary() != whole.Summary() || m.Count() != whole.Count() {
+			t.Fatalf("merged dist diverges: %+v vs %+v", m.Summary(), whole.Summary())
+		}
+	}
+}
+
+func TestDistEntriesRoundTrip(t *testing.T) {
+	d := NewDist()
+	for _, v := range []int{5, -1, 5, 3, 5, -1} {
+		d.Add(v)
+	}
+	wantEntries := []DistEntry{{-1, 2}, {3, 1}, {5, 3}}
+	if got := d.Entries(); !reflect.DeepEqual(got, wantEntries) {
+		t.Fatalf("Entries() = %v", got)
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Dist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary() != d.Summary() || back.Distinct() != d.Distinct() {
+		t.Fatalf("JSON round-trip changed the distribution: %+v vs %+v", back.Summary(), d.Summary())
+	}
+	if _, err := DistFromEntries([]DistEntry{{1, 0}}); err == nil {
+		t.Fatal("zero-count entry accepted")
+	}
+}
+
+// TestDistFootprintBoundedByValueUniverse pins the memory contract: the
+// distinct-value footprint saturates at the value universe no matter how
+// many observations stream through.
+func TestDistFootprintBoundedByValueUniverse(t *testing.T) {
+	d := NewDist()
+	for i := 0; i < 1000; i++ {
+		d.Add(i % 17)
+	}
+	atThousand := d.Distinct()
+	for i := 0; i < 9000; i++ {
+		d.Add(i % 17)
+	}
+	if d.Distinct() != atThousand || d.Distinct() != 17 {
+		t.Fatalf("footprint grew with observations: %d then %d", atThousand, d.Distinct())
+	}
+	if d.Count() != 10000 {
+		t.Fatalf("count = %d", d.Count())
+	}
+}

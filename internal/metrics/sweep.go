@@ -17,10 +17,12 @@ type Sweep struct {
 
 	// Scalar observations (cover times, revisit gaps, …) keyed by
 	// (id, metric name), in first-recorded order for deterministic
-	// rendering.
+	// rendering. Each series is a bounded Dist — O(distinct values), never
+	// O(observations) — so sweeps and streaming campaigns aggregate
+	// scalars without retaining per-job samples.
 	scalarKeys []scalarKey
 	scalarIdx  map[scalarKey]int
-	scalars    [][]int
+	scalars    []*Dist
 }
 
 // scalarKey addresses one scalar series: an experiment ID and a metric name.
@@ -69,25 +71,63 @@ func (s *Sweep) Record(id string, seed uint64, pass bool) {
 // Unlike Record, scalars accumulate: every observation contributes to the
 // min/mean/max aggregate of its (id, name) series.
 func (s *Sweep) RecordScalar(id, name string, value int) {
+	s.scalarDist(id, name).Add(value)
+}
+
+// scalarDist returns the distribution for (id, name), creating it in
+// first-recorded order when new.
+func (s *Sweep) scalarDist(id, name string) *Dist {
 	k := scalarKey{id, name}
 	i, ok := s.scalarIdx[k]
 	if !ok {
 		i = len(s.scalarKeys)
 		s.scalarIdx[k] = i
 		s.scalarKeys = append(s.scalarKeys, k)
-		s.scalars = append(s.scalars, nil)
+		s.scalars = append(s.scalars, NewDist())
 	}
-	s.scalars[i] = append(s.scalars[i], value)
+	return s.scalars[i]
 }
 
-// ScalarSeries returns the recorded values for one (id, name) series, nil
-// when the series was never recorded.
+// ScalarSeries returns the recorded values for one (id, name) series as an
+// ascending multiset (the per-observation order is not retained), nil when
+// the series was never recorded.
 func (s *Sweep) ScalarSeries(id, name string) []int {
 	i, ok := s.scalarIdx[scalarKey{id, name}]
 	if !ok {
 		return nil
 	}
-	return append([]int(nil), s.scalars[i]...)
+	return s.scalars[i].Values()
+}
+
+// ScalarState is the canonical serialized form of one scalar series —
+// the unit of campaign checkpoints.
+type ScalarState struct {
+	ID      string      `json:"id"`
+	Metric  string      `json:"metric"`
+	Entries []DistEntry `json:"entries"`
+}
+
+// ScalarStates exports every scalar series in first-recorded order.
+func (s *Sweep) ScalarStates() []ScalarState {
+	out := make([]ScalarState, 0, len(s.scalarKeys))
+	for i, k := range s.scalarKeys {
+		out = append(out, ScalarState{ID: k.id, Metric: k.name, Entries: s.scalars[i].Entries()})
+	}
+	return out
+}
+
+// RestoreScalars folds serialized scalar series back into the sweep,
+// preserving the exported order — Add-ing further observations afterwards
+// continues the stream exactly where the checkpoint cut it.
+func (s *Sweep) RestoreScalars(states []ScalarState) error {
+	for _, st := range states {
+		d, err := DistFromEntries(st.Entries)
+		if err != nil {
+			return fmt.Errorf("metrics: series %s/%s: %w", st.ID, st.Metric, err)
+		}
+		s.scalarDist(st.ID, st.Metric).Merge(d)
+	}
+	return nil
 }
 
 // ScalarCount returns the number of distinct (id, metric) scalar series.
@@ -110,7 +150,7 @@ type ScalarRow struct {
 func (s *Sweep) ScalarRows() []ScalarRow {
 	rows := make([]ScalarRow, 0, len(s.scalarKeys))
 	for i, k := range s.scalarKeys {
-		sum := Summarize(s.scalars[i])
+		sum := s.scalars[i].Summary()
 		rows = append(rows, ScalarRow{
 			ID:     k.id,
 			Metric: k.name,

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+
+	"pef/internal/metrics"
+)
+
+// Aggregate is the online campaign aggregation state: per-family verdict
+// counts, bounded scalar distributions, and the violation list, folded in
+// one verdict at a time. It holds O(aggregate) memory — families × metrics
+// × distinct scalar values, plus the (expected-empty) violations — never
+// O(scenarios), which is what lets StreamCampaign report on
+// million-scenario sweeps without collecting verdicts.
+//
+// Reports rendered from an Aggregate are byte-identical to the legacy
+// collected path: Campaign.WriteReport and Campaign.WriteJSON are now
+// implemented by folding their verdict slice through an Aggregate.
+type Aggregate struct {
+	// Generator, Gen, Count and Seeds echo the resolved campaign
+	// configuration; checkpoints embed them so a resumed campaign cannot
+	// silently continue under different parameters.
+	Generator string
+	Gen       GenConfig
+	Count     int
+	Seeds     []uint64
+
+	done       int
+	ok         int
+	familyIdx  map[string]int
+	families   []FamilyStats
+	sweep      *metrics.Sweep
+	violations []Verdict
+}
+
+// NewAggregate creates the aggregation state for the campaign described
+// by cfg (defaults resolved exactly like RunCampaign). When cfg.Resume is
+// set, the checkpointed prefix is folded in, so Add-ing the remaining
+// verdict stream reproduces the uninterrupted aggregate.
+func NewAggregate(cfg CampaignConfig) (*Aggregate, error) {
+	rcfg, err := cfg.resolved()
+	if err != nil {
+		return nil, err
+	}
+	a := &Aggregate{
+		Generator: rcfg.Generator,
+		Gen:       rcfg.Gen.withDefaults(),
+		Count:     rcfg.Count,
+		Seeds:     rcfg.Seeds,
+		familyIdx: map[string]int{},
+		sweep:     metrics.NewSweep(),
+	}
+	if rcfg.Resume != nil {
+		if err := a.restore(rcfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Done returns the number of verdicts folded in (including a resumed
+// checkpoint's prefix).
+func (a *Aggregate) Done() int { return a.done }
+
+// OKCount returns the number of folded verdicts whose expectation holds.
+func (a *Aggregate) OKCount() int { return a.ok }
+
+// Violations returns the folded verdicts that failed their predicate or
+// errored, in fold order (canonical order when fed from a campaign
+// stream).
+func (a *Aggregate) Violations() []Verdict { return a.violations }
+
+// FamilyTable returns the per-family aggregates in first-seen order.
+func (a *Aggregate) FamilyTable() []FamilyStats { return a.families }
+
+// Sweep returns the scalar aggregation state: per-family cover-time,
+// revisit-gap and distinct-node distributions.
+func (a *Aggregate) Sweep() *metrics.Sweep { return a.sweep }
+
+// Add folds one verdict into the aggregate. Folding the canonical verdict
+// stream reproduces every report of the collected path byte for byte.
+func (a *Aggregate) Add(v Verdict) {
+	a.done++
+	passed := v.OK && v.Err == ""
+	if passed {
+		a.ok++
+	}
+	fam := v.Spec.Family
+	i, seen := a.familyIdx[fam]
+	if !seen {
+		i = len(a.families)
+		a.familyIdx[fam] = i
+		a.families = append(a.families, FamilyStats{Family: fam})
+	}
+	a.families[i].Runs++
+	if passed {
+		a.families[i].OK++
+	}
+	switch v.Expect {
+	case ExpectExplore:
+		a.families[i].Explore++
+	case ExpectConfine:
+		a.families[i].Confine++
+	default:
+		a.families[i].None++
+	}
+	if v.Err == "" { // errored/cancelled scenarios carry no metrics
+		if v.CoverTime >= 0 {
+			a.sweep.RecordScalar(fam, "cover", v.CoverTime)
+		}
+		if v.Outcome == "explored" || v.Outcome == "partial" {
+			a.sweep.RecordScalar(fam, "maxGap", v.MaxGap)
+		}
+		a.sweep.RecordScalar(fam, "distinct", v.Distinct)
+	}
+	if !v.OK || v.Err != "" {
+		a.violations = append(a.violations, v)
+	}
+}
+
+// Merge folds b into a. Merging the parts of any in-order partition of a
+// campaign stream reproduces the whole-stream aggregate exactly — counts
+// and distributions are commutative, and first-seen orders concatenate —
+// which is the property checkpoint/resume and multi-process sharding rely
+// on. The two aggregates must describe the same campaign configuration.
+func (a *Aggregate) Merge(b *Aggregate) error {
+	if a.Generator != b.Generator || a.Count != b.Count ||
+		!reflect.DeepEqual(a.Seeds, b.Seeds) || a.Gen != b.Gen {
+		return fmt.Errorf("scenario: merging aggregates of different campaigns (%s/%d/%v vs %s/%d/%v)",
+			a.Generator, a.Count, a.Seeds, b.Generator, b.Count, b.Seeds)
+	}
+	a.done += b.done
+	a.ok += b.ok
+	for _, fs := range b.families {
+		i, seen := a.familyIdx[fs.Family]
+		if !seen {
+			i = len(a.families)
+			a.familyIdx[fs.Family] = i
+			a.families = append(a.families, FamilyStats{Family: fs.Family})
+		}
+		a.families[i].Runs += fs.Runs
+		a.families[i].OK += fs.OK
+		a.families[i].Explore += fs.Explore
+		a.families[i].Confine += fs.Confine
+		a.families[i].None += fs.None
+	}
+	if err := a.sweep.RestoreScalars(b.sweep.ScalarStates()); err != nil {
+		return err
+	}
+	a.violations = append(a.violations, b.violations...)
+	return nil
+}
+
+// WriteReport renders the aggregate as the human-readable campaign
+// report: the family table, the scalar spread, and one section per
+// violation — byte-identical to the legacy collected rendering.
+func (a *Aggregate) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Scenario campaign (generator=%s, count=%d, seeds=%d)\n",
+		a.Generator, a.Count, len(a.Seeds)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n## Families (%d scenarios, %d ok)\n\n", a.done, a.ok); err != nil {
+		return err
+	}
+	ft := metrics.NewTable("family", "runs", "ok", "explore", "confine", "none")
+	for _, fs := range a.families {
+		ft.AddRow(fs.Family, fs.Runs, fs.OK, fs.Explore, fs.Confine, fs.None)
+	}
+	if err := ft.Render(w); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n## Scalar metrics\n\n"); err != nil {
+		return err
+	}
+	if err := a.sweep.ScalarTable().Render(w); err != nil {
+		return err
+	}
+	for _, v := range a.violations {
+		if _, err := fmt.Fprintf(w, "\n### Violation: %s\n", v.ID); err != nil {
+			return err
+		}
+		detail := v.Violation
+		if v.Err != "" {
+			detail = v.Err
+		}
+		if _, err := fmt.Fprintf(w, "\nexpect=%s outcome=%s covered=%d/%d maxGap=%d distinct=%d: %s\n",
+			v.Expect, v.Outcome, v.Covered, v.Spec.Ring, v.MaxGap, v.Distinct, detail); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n---\n%d/%d scenarios satisfy the paper's predicates.\n",
+		a.done-len(a.violations), a.done)
+	return err
+}
+
+// jsonCampaign is the versioned machine-readable campaign document (the
+// BENCH_*.json payload of scenario sweeps). It deliberately omits the
+// worker count so reports are byte-identical for any -workers value.
+type jsonCampaign struct {
+	Version    int                 `json:"version"`
+	Generator  string              `json:"generator"`
+	Count      int                 `json:"count"`
+	Seeds      []uint64            `json:"seeds"`
+	Total      int                 `json:"total"`
+	OK         int                 `json:"ok"`
+	OKRate     float64             `json:"okRate"`
+	Families   []FamilyStats       `json:"families"`
+	Scalars    []metrics.ScalarRow `json:"scalars"`
+	Violations []Verdict           `json:"violations,omitempty"`
+}
+
+// WriteJSON renders the versioned campaign document from the aggregate.
+func (a *Aggregate) WriteJSON(w io.Writer) error {
+	doc := jsonCampaign{
+		Version:    Version,
+		Generator:  a.Generator,
+		Count:      a.Count,
+		Seeds:      a.Seeds,
+		Total:      a.done,
+		OK:         a.ok,
+		Families:   a.families,
+		Scalars:    a.sweep.ScalarRows(),
+		Violations: a.violations,
+	}
+	if doc.Total > 0 {
+		doc.OKRate = float64(doc.OK) / float64(doc.Total)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

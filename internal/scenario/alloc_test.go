@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -44,5 +45,89 @@ func TestOracleEvaluationSteadyStateAllocFree(t *testing.T) {
 	// Six times the rounds may not cost extra allocations beyond noise.
 	if long > short+2 {
 		t.Fatalf("oracle evaluation allocates per round: %v allocs at horizon 200 vs %v at 1400", short, long)
+	}
+}
+
+// syntheticVerdict builds verdict i of a stream whose scalar values cycle
+// over a fixed universe — the shape of a long steady-state campaign.
+func syntheticVerdict(i int) Verdict {
+	fam := []string{"static", "bernoulli", "markov", "roving"}[i%4]
+	return Verdict{
+		ID:        fmt.Sprintf("v%d", i),
+		Spec:      Spec{Ring: 8 + i%4, Robots: 3, Family: fam},
+		Expect:    ExpectExplore,
+		Outcome:   "explored",
+		OK:        true,
+		Covered:   8,
+		CoverTime: i % 50,
+		MaxGap:    i % 30,
+		Distinct:  i % 8,
+	}
+}
+
+// newTestAggregate builds an aggregate for a synthetic stream.
+func newTestAggregate(t testing.TB) *Aggregate {
+	t.Helper()
+	agg, err := NewAggregate(CampaignConfig{Generator: "uniform"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// footprint measures the aggregate's retained state: family rows, scalar
+// distribution cells, and violations. This is the quantity the streaming
+// redesign promises stays O(aggregate) — bounded by the value universe,
+// independent of how many scenarios streamed through.
+func footprint(a *Aggregate) int {
+	n := len(a.FamilyTable()) + len(a.Violations())
+	for _, st := range a.Sweep().ScalarStates() {
+		n += len(st.Entries)
+	}
+	return n
+}
+
+// TestAggregateStateBoundedByScenarioCount is the aggregation-side memory
+// guard of the streaming campaign redesign: folding ten times more
+// verdicts from the same value universe must not grow the aggregate's
+// retained state at all. (The collected legacy path held every verdict —
+// O(scenarios); the aggregate holds distributions — O(distinct values).)
+func TestAggregateStateBoundedByScenarioCount(t *testing.T) {
+	agg := newTestAggregate(t)
+	for i := 0; i < 1000; i++ {
+		agg.Add(syntheticVerdict(i))
+	}
+	atThousand := footprint(agg)
+	for i := 1000; i < 10000; i++ {
+		agg.Add(syntheticVerdict(i))
+	}
+	if got := footprint(agg); got != atThousand {
+		t.Fatalf("aggregation state grew with scenario count: %d cells at 1k verdicts, %d at 10k", atThousand, got)
+	}
+	if agg.Done() != 10000 {
+		t.Fatalf("Done() = %d", agg.Done())
+	}
+}
+
+// TestAggregateAddSteadyStateAllocFree guards the per-verdict cost of
+// streamed aggregation: once the value universe has been seen, Add must
+// not allocate. Skipped under -race (instrumented allocation counts).
+func TestAggregateAddSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	agg := newTestAggregate(t)
+	verdicts := make([]Verdict, 200)
+	for i := range verdicts {
+		verdicts[i] = syntheticVerdict(i)
+		agg.Add(verdicts[i]) // warm: populate families and distributions
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		agg.Add(verdicts[i%len(verdicts)])
+		i++
+	})
+	if allocs > 0.1 {
+		t.Fatalf("steady-state Aggregate.Add allocates: %v allocs/op", allocs)
 	}
 }

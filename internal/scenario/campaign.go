@@ -2,12 +2,14 @@ package scenario
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
+	"runtime"
 
 	"pef/internal/harness"
 	"pef/internal/metrics"
+	"pef/internal/prng"
 )
 
 // CampaignConfig parameterizes a generated-scenario sweep: the generator,
@@ -25,99 +27,305 @@ type CampaignConfig struct {
 	Seeds []uint64
 	// Workers bounds the worker pool; values < 1 mean GOMAXPROCS.
 	Workers int
-	// OnVerdict, when non-nil, streams verdicts in canonical order
-	// (seeds in the order given, stream index inside each seed),
-	// independent of the worker count. On cancellation only the solid
-	// prefix is streamed; consume Campaign.Verdicts for everything that
-	// still finished.
+	// Resume, when non-nil, continues a checkpointed campaign: the
+	// generator, bounds, count and seeds are adopted from the checkpoint
+	// (conflicting non-zero overrides are rejected), the checkpointed
+	// prefix of the canonical stream is skipped, and reports fold the
+	// checkpoint's aggregate back in — byte-identical to the
+	// uninterrupted run.
+	Resume *Checkpoint
+	// OnVerdict, when non-nil, streams executed verdicts in canonical
+	// order (seeds in the order given, stream index inside each seed),
+	// independent of the worker count. On cancellation only the executed
+	// prefix is streamed; consume Campaign.Verdicts for everything.
 	OnVerdict func(Verdict)
 }
 
-// Campaign is a completed sweep: the generated specs and their verdicts in
-// canonical order, plus the configuration that produced them. Every report
-// derives from the verdict slice alone, so campaign output is
-// byte-identical for any worker count.
+// resolved fills the config defaults and adopts a Resume checkpoint's
+// campaign identity, rejecting conflicting explicit overrides.
+func (cfg CampaignConfig) resolved() (CampaignConfig, error) {
+	if r := cfg.Resume; r != nil {
+		if err := r.validate(); err != nil {
+			return cfg, err
+		}
+		if cfg.Generator != "" && cfg.Generator != r.Generator {
+			return cfg, fmt.Errorf("scenario: resume generator %q conflicts with checkpoint %q", cfg.Generator, r.Generator)
+		}
+		if cfg.Count > 0 && cfg.Count != r.Count {
+			return cfg, fmt.Errorf("scenario: resume count %d conflicts with checkpoint %d", cfg.Count, r.Count)
+		}
+		if len(cfg.Seeds) > 0 && !equalSeeds(cfg.Seeds, r.Seeds) {
+			return cfg, fmt.Errorf("scenario: resume seeds %v conflict with checkpoint %v", cfg.Seeds, r.Seeds)
+		}
+		if cfg.Gen != (GenConfig{}) && cfg.Gen.withDefaults() != r.Gen {
+			return cfg, fmt.Errorf("scenario: resume generator bounds %+v conflict with checkpoint %+v", cfg.Gen.withDefaults(), r.Gen)
+		}
+		cfg.Generator = r.Generator
+		cfg.Count = r.Count
+		cfg.Seeds = append([]uint64(nil), r.Seeds...)
+		cfg.Gen = r.Gen
+	}
+	if cfg.Generator == "" {
+		cfg.Generator = "uniform"
+	}
+	if cfg.Count < 1 {
+		cfg.Count = 1
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []uint64{1}
+	}
+	return cfg, nil
+}
+
+func equalSeeds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// specStream draws the campaign's canonical scenario sequence lazily:
+// seeds in order, Count samples per seed, each seed's stream identical to
+// Generate(generator, cfg, seed, count). Campaigns therefore never
+// materialize the full spec slice — the pool feeds one window at a time.
+type specStream struct {
+	gen    Generator
+	cfg    GenConfig
+	seeds  []uint64
+	count  int
+	seed   int // index into seeds of the current source
+	inSeed int // samples already drawn from the current source
+	src    *prng.Source
+}
+
+func newSpecStream(gen Generator, cfg GenConfig, seeds []uint64, count int) *specStream {
+	return &specStream{gen: gen, cfg: cfg, seeds: seeds, count: count}
+}
+
+// next returns the following spec of the canonical sequence. Calling it
+// more than len(seeds)*count times is a bug in the caller.
+func (st *specStream) next() Spec {
+	for st.src == nil || st.inSeed == st.count {
+		if st.src != nil {
+			st.seed++
+		}
+		if st.seed >= len(st.seeds) {
+			panic("scenario: spec stream exhausted")
+		}
+		st.src = prng.NewSource(st.seeds[st.seed])
+		st.inSeed = 0
+	}
+	st.inSeed++
+	return st.gen.Sample(st.cfg, st.src)
+}
+
+// campaignWindow returns the pool window — and hence the size of the spec
+// ring and the reorder buffer — for a worker count.
+func campaignWindow(workers int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return 8 * workers
+}
+
+// StreamCampaign generates Count scenarios per seed and shards them
+// across the harness worker pool, yielding one (verdict, error) pair per
+// scenario in canonical order — byte-identical for any worker count. It
+// is the bounded-memory core of the campaign subsystem: specs are fed
+// lazily from the seeded samplers, at most O(workers) verdicts are ever
+// buffered for reordering, and nothing is retained after a yield, so a
+// million-scenario sweep holds whatever state the consumer keeps (an
+// Aggregate, typically) and no more.
+//
+// Error semantics: a configuration failure (unknown generator, invalid
+// bounds, checkpoint conflict) yields exactly one (zero Verdict, err)
+// pair and stops. After a context cancellation, scenarios that never ran
+// are still yielded — in order, with their identity-filled error verdict
+// and err set to ctx.Err() — so consumers always see exactly
+// Count × len(Seeds) pairs otherwise. Scenario-level failures are not
+// stream errors: they arrive as OK=false or Err-carrying verdicts with a
+// nil stream error, exactly like RunCampaign records them.
+//
+// When cfg.Resume is set the checkpointed prefix is skipped: the stream
+// yields only the remaining scenarios; fold them into the checkpoint's
+// Aggregate (see NewAggregate) to reproduce the full-campaign reports.
+func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, error] {
+	return func(yield func(Verdict, error) bool) {
+		rcfg, err := cfg.resolved()
+		if err != nil {
+			yield(Verdict{}, err)
+			return
+		}
+		gen, err := NewGenerator(rcfg.Generator)
+		if err != nil {
+			yield(Verdict{}, err)
+			return
+		}
+		gcfg := rcfg.Gen.withDefaults()
+		if err := gcfg.validate(); err != nil {
+			yield(Verdict{}, err)
+			return
+		}
+		total := rcfg.Count * len(rcfg.Seeds)
+		skip := 0
+		if rcfg.Resume != nil {
+			skip = rcfg.Resume.Done
+		}
+		stream := newSpecStream(gen, gcfg, rcfg.Seeds, rcfg.Count)
+		for i := 0; i < skip; i++ {
+			stream.next() // replay the sampler past the checkpointed prefix
+		}
+
+		window := campaignWindow(rcfg.Workers)
+		ring := make([]Spec, window)
+		fed := 0
+		for item := range harness.StreamPool(ctx, harness.PoolConfig[Verdict]{
+			Total:   total - skip,
+			Workers: rcfg.Workers,
+			Window:  window,
+			// Feed materializes spec i into its ring slot right before
+			// dispatch; the pool guarantees Feed(i) happens-before Run(i)
+			// and that the slot is not reused until job i was yielded.
+			Feed: func(i int) {
+				ring[i%window] = stream.next()
+				fed = i + 1
+			},
+			Run: func(i int) Verdict {
+				return Run(ring[i%window]) // Run recovers its own panics
+			},
+			// Placeholder runs after the dispatcher has exited (the pool
+			// orders it after close(out)), so continuing the sampler for
+			// never-fed indices is race-free.
+			Placeholder: func(i int) Verdict {
+				var s Spec
+				if i < fed {
+					s = ring[i%window]
+				} else {
+					s = stream.next()
+				}
+				return Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, Outcome: "error", CoverTime: -1}
+			},
+			Cancelled: func(_ int, v Verdict, err error) Verdict {
+				v.Err = fmt.Sprintf("scenario cancelled before running: %v", err)
+				return v
+			},
+		}) {
+			if !yield(item.R, item.Err) {
+				return
+			}
+		}
+	}
+}
+
+// Campaign is a completed sweep: the verdicts this process executed in
+// canonical order, plus the resolved configuration that produced them.
+// Every report derives from the aggregate fold alone, so campaign output
+// is byte-identical for any worker count — and, for resumed campaigns,
+// identical to the uninterrupted run's.
 type Campaign struct {
-	// Generator, Count and Seeds echo the resolved configuration.
+	// Generator, Gen, Count and Seeds echo the resolved configuration.
 	Generator string
+	Gen       GenConfig
 	Count     int
 	Seeds     []uint64
-	// Verdicts holds one verdict per generated scenario in canonical
-	// order.
+	// Verdicts holds one verdict per scenario this process ran, in
+	// canonical order. For resumed campaigns it covers only the portion
+	// after the checkpoint; reports and counters below always include
+	// the checkpointed prefix.
 	Verdicts []Verdict
+
+	// resumed is the checkpoint the campaign continued from, nil for
+	// fresh runs.
+	resumed *Checkpoint
+	// agg caches the verdict fold behind every accessor below; it is
+	// built lazily on first use. Mutating Verdicts after that first use
+	// is unsupported (reports would keep serving the cached fold).
+	agg *Aggregate
 }
 
 // RunCampaign generates Count scenarios per seed and shards them across
-// the harness worker pool, checking every one against the property oracle.
-// Scenario-level failures (panics, invalid samples) become error verdicts;
-// RunCampaign itself fails only on an unknown generator or a cancelled
-// context.
+// the harness worker pool, checking every one against the property
+// oracle. It is StreamCampaign collected into a Campaign; use the stream
+// (plus NewAggregate) directly when the verdict slice of a huge sweep
+// should not be held in memory.
+//
+// Scenario-level failures (panics, invalid samples) become error
+// verdicts; RunCampaign itself fails only on an unknown generator, an
+// inconsistent Resume checkpoint, or a cancelled context.
 func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
-	name := cfg.Generator
-	if name == "" {
-		name = "uniform"
+	rcfg, err := cfg.resolved()
+	if err != nil {
+		return nil, err
 	}
-	count := cfg.Count
-	if count < 1 {
-		count = 1
+	c := &Campaign{
+		Generator: rcfg.Generator,
+		Gen:       rcfg.Gen.withDefaults(),
+		Count:     rcfg.Count,
+		Seeds:     rcfg.Seeds,
+		resumed:   rcfg.Resume,
 	}
-	seeds := cfg.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{1}
-	}
-	var specs []Spec
-	for _, seed := range seeds {
-		batch, err := Generate(name, cfg.Gen, seed, count)
+	var ctxErr error
+	for v, err := range StreamCampaign(ctx, rcfg) {
 		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, batch...)
-	}
-	verdicts, err := harness.RunPool(ctx, harness.PoolConfig[Verdict]{
-		Total:   len(specs),
-		Workers: cfg.Workers,
-		Run: func(i int) Verdict {
-			return Run(specs[i]) // Run recovers its own panics
-		},
-		Placeholder: func(i int) Verdict {
-			return Verdict{ID: specs[i].ID(), Spec: specs[i], Expect: specs[i].Expect, Outcome: "error", CoverTime: -1}
-		},
-		Cancelled: func(_ int, v Verdict, err error) Verdict {
-			v.Err = fmt.Sprintf("scenario cancelled before running: %v", err)
-			return v
-		},
-		OnResult: func(_ int, v Verdict) {
-			if cfg.OnVerdict != nil {
-				cfg.OnVerdict(v)
+			if v.ID == "" {
+				return nil, err // configuration failure: no stream ran
 			}
-		},
-	})
-	c := &Campaign{Generator: name, Count: count, Seeds: seeds, Verdicts: verdicts}
-	return c, err
+			ctxErr = err // cancellation: identity-filled verdict, keep collecting
+		}
+		c.Verdicts = append(c.Verdicts, v)
+		if err == nil && rcfg.OnVerdict != nil {
+			rcfg.OnVerdict(v)
+		}
+	}
+	return c, ctxErr
 }
 
-// OKCount returns the number of verdicts whose expectation holds.
-func (c *Campaign) OKCount() int {
-	n := 0
-	for _, v := range c.Verdicts {
-		if v.OK && v.Err == "" {
-			n++
-		}
+// aggregate folds the campaign (resumed prefix plus collected verdicts)
+// into an Aggregate, computed once and cached: every accessor below is a
+// cheap read after the first.
+func (c *Campaign) aggregate() *Aggregate {
+	if c.agg != nil {
+		return c.agg
 	}
-	return n
+	a, err := NewAggregate(CampaignConfig{
+		Generator: c.Generator,
+		Gen:       c.Gen,
+		Count:     c.Count,
+		Seeds:     c.Seeds,
+		Resume:    c.resumed,
+	})
+	if err != nil {
+		// The campaign was built from a validated configuration; a fold
+		// failure is a programming error, not a user input.
+		panic(fmt.Sprintf("scenario: campaign aggregate: %v", err))
+	}
+	for _, v := range c.Verdicts {
+		a.Add(v)
+	}
+	c.agg = a
+	return a
 }
+
+// Checkpoint snapshots the campaign — including any resumed prefix — as a
+// resumable checkpoint.
+func (c *Campaign) Checkpoint() *Checkpoint { return c.aggregate().Checkpoint() }
+
+// OKCount returns the number of verdicts whose expectation holds,
+// including a resumed checkpoint's prefix.
+func (c *Campaign) OKCount() int { return c.aggregate().OKCount() }
+
+// Total returns the number of scenarios the campaign accounts for,
+// including a resumed checkpoint's prefix.
+func (c *Campaign) Total() int { return c.aggregate().Done() }
 
 // Violations returns the verdicts that failed their predicate or errored,
-// in canonical order.
-func (c *Campaign) Violations() []Verdict {
-	var out []Verdict
-	for _, v := range c.Verdicts {
-		if !v.OK || v.Err != "" {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+// in canonical order, including a resumed checkpoint's prefix.
+func (c *Campaign) Violations() []Verdict { return c.aggregate().Violations() }
 
 // FamilyStats aggregates a campaign per dynamics family.
 type FamilyStats struct {
@@ -135,129 +343,16 @@ type FamilyStats struct {
 
 // FamilyTable returns per-family aggregates in first-seen (canonical)
 // order.
-func (c *Campaign) FamilyTable() []FamilyStats {
-	idx := map[string]int{}
-	var stats []FamilyStats
-	for _, v := range c.Verdicts {
-		fam := v.Spec.Family
-		i, ok := idx[fam]
-		if !ok {
-			i = len(stats)
-			idx[fam] = i
-			stats = append(stats, FamilyStats{Family: fam})
-		}
-		stats[i].Runs++
-		if v.OK && v.Err == "" {
-			stats[i].OK++
-		}
-		switch v.Expect {
-		case ExpectExplore:
-			stats[i].Explore++
-		case ExpectConfine:
-			stats[i].Confine++
-		default:
-			stats[i].None++
-		}
-	}
-	return stats
-}
+func (c *Campaign) FamilyTable() []FamilyStats { return c.aggregate().FamilyTable() }
 
 // Sweep folds the campaign into the shared metrics aggregate: per-family
 // verdict counts via scalars plus cover-time and revisit-gap series for
 // the explored scenarios.
-func (c *Campaign) Sweep() *metrics.Sweep {
-	sw := metrics.NewSweep()
-	for _, v := range c.Verdicts {
-		if v.Err != "" {
-			continue // errored/cancelled scenarios carry no metrics
-		}
-		fam := v.Spec.Family
-		if v.CoverTime >= 0 {
-			sw.RecordScalar(fam, "cover", v.CoverTime)
-		}
-		if v.Outcome == "explored" || v.Outcome == "partial" {
-			sw.RecordScalar(fam, "maxGap", v.MaxGap)
-		}
-		sw.RecordScalar(fam, "distinct", v.Distinct)
-	}
-	return sw
-}
+func (c *Campaign) Sweep() *metrics.Sweep { return c.aggregate().Sweep() }
 
 // WriteReport renders the campaign as a human-readable report: the family
 // aggregate, the scalar spread, and one section per violation.
-func (c *Campaign) WriteReport(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# Scenario campaign (generator=%s, count=%d, seeds=%d)\n",
-		c.Generator, c.Count, len(c.Seeds)); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "\n## Families (%d scenarios, %d ok)\n\n", len(c.Verdicts), c.OKCount()); err != nil {
-		return err
-	}
-	ft := metrics.NewTable("family", "runs", "ok", "explore", "confine", "none")
-	for _, fs := range c.FamilyTable() {
-		ft.AddRow(fs.Family, fs.Runs, fs.OK, fs.Explore, fs.Confine, fs.None)
-	}
-	if err := ft.Render(w); err != nil {
-		return err
-	}
-	if _, err := io.WriteString(w, "\n## Scalar metrics\n\n"); err != nil {
-		return err
-	}
-	if err := c.Sweep().ScalarTable().Render(w); err != nil {
-		return err
-	}
-	violations := c.Violations()
-	for _, v := range violations {
-		if _, err := fmt.Fprintf(w, "\n### Violation: %s\n", v.ID); err != nil {
-			return err
-		}
-		detail := v.Violation
-		if v.Err != "" {
-			detail = v.Err
-		}
-		if _, err := fmt.Fprintf(w, "\nexpect=%s outcome=%s covered=%d/%d maxGap=%d distinct=%d: %s\n",
-			v.Expect, v.Outcome, v.Covered, v.Spec.Ring, v.MaxGap, v.Distinct, detail); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintf(w, "\n---\n%d/%d scenarios satisfy the paper's predicates.\n",
-		len(c.Verdicts)-len(violations), len(c.Verdicts))
-	return err
-}
-
-// jsonCampaign is the versioned machine-readable campaign document (the
-// BENCH_*.json payload of scenario sweeps). It deliberately omits the
-// worker count so reports are byte-identical for any -workers value.
-type jsonCampaign struct {
-	Version    int                 `json:"version"`
-	Generator  string              `json:"generator"`
-	Count      int                 `json:"count"`
-	Seeds      []uint64            `json:"seeds"`
-	Total      int                 `json:"total"`
-	OK         int                 `json:"ok"`
-	OKRate     float64             `json:"okRate"`
-	Families   []FamilyStats       `json:"families"`
-	Scalars    []metrics.ScalarRow `json:"scalars"`
-	Violations []Verdict           `json:"violations,omitempty"`
-}
+func (c *Campaign) WriteReport(w io.Writer) error { return c.aggregate().WriteReport(w) }
 
 // WriteJSON renders the versioned campaign document.
-func (c *Campaign) WriteJSON(w io.Writer) error {
-	doc := jsonCampaign{
-		Version:    Version,
-		Generator:  c.Generator,
-		Count:      c.Count,
-		Seeds:      c.Seeds,
-		Total:      len(c.Verdicts),
-		OK:         c.OKCount(),
-		Families:   c.FamilyTable(),
-		Scalars:    c.Sweep().ScalarRows(),
-		Violations: c.Violations(),
-	}
-	if doc.Total > 0 {
-		doc.OKRate = float64(doc.OK) / float64(doc.Total)
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
-}
+func (c *Campaign) WriteJSON(w io.Writer) error { return c.aggregate().WriteJSON(w) }

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"pef/internal/metrics"
+)
+
+// Checkpoint is the serialized state of a partially executed campaign:
+// the resolved configuration, how many scenarios of the canonical stream
+// have been aggregated, and the complete aggregation state. Because the
+// aggregate is merge-based, resuming from a checkpoint and finishing the
+// stream reproduces the uninterrupted campaign's reports byte for byte —
+// specs are never stored, only re-derived from (generator, seeds, count).
+type Checkpoint struct {
+	// Version is the scenario format version the checkpoint was written
+	// under.
+	Version int `json:"version"`
+	// Generator, Gen, Count and Seeds pin the campaign the checkpoint
+	// belongs to; Resume adopts them and rejects conflicting overrides.
+	Generator string    `json:"generator"`
+	Gen       GenConfig `json:"gen"`
+	Count     int       `json:"count"`
+	Seeds     []uint64  `json:"seeds"`
+	// Done is the length of the aggregated canonical prefix: resuming
+	// skips exactly this many generated scenarios.
+	Done int `json:"done"`
+	// OK, Families, Scalars and Violations are the aggregate state.
+	OK         int                   `json:"ok"`
+	Families   []FamilyStats         `json:"families,omitempty"`
+	Scalars    []metrics.ScalarState `json:"scalars,omitempty"`
+	Violations []Verdict             `json:"violations,omitempty"`
+}
+
+// Checkpoint snapshots the aggregate as a resumable checkpoint. The
+// snapshot is deep-copied: later Add calls on the aggregate never mutate
+// an already-taken checkpoint, so periodic mid-stream checkpointing is
+// safe.
+func (a *Aggregate) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:    Version,
+		Generator:  a.Generator,
+		Gen:        a.Gen,
+		Count:      a.Count,
+		Seeds:      append([]uint64(nil), a.Seeds...),
+		Done:       a.done,
+		OK:         a.ok,
+		Families:   append([]FamilyStats(nil), a.families...),
+		Scalars:    a.sweep.ScalarStates(), // already copies entry slices
+		Violations: append([]Verdict(nil), a.violations...),
+	}
+}
+
+// restore folds a checkpoint's prefix into a fresh aggregate whose
+// configuration was already adopted from it.
+func (a *Aggregate) restore(c *Checkpoint) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	a.done = c.Done
+	a.ok = c.OK
+	a.families = append([]FamilyStats(nil), c.Families...)
+	for i, fs := range a.families {
+		a.familyIdx[fs.Family] = i
+	}
+	if err := a.sweep.RestoreScalars(c.Scalars); err != nil {
+		return err
+	}
+	a.violations = append([]Verdict(nil), c.Violations...)
+	return nil
+}
+
+// validate checks internal consistency so corrupt checkpoints fail before
+// a resumed campaign silently diverges.
+func (c *Checkpoint) validate() error {
+	if c.Version != Version {
+		return fmt.Errorf("scenario: unsupported checkpoint version %d (want %d)", c.Version, Version)
+	}
+	if c.Count < 1 || len(c.Seeds) == 0 {
+		return fmt.Errorf("scenario: checkpoint lacks campaign shape (count=%d, %d seeds)", c.Count, len(c.Seeds))
+	}
+	total := c.Count * len(c.Seeds)
+	if c.Done < 0 || c.Done > total {
+		return fmt.Errorf("scenario: checkpoint Done=%d outside campaign of %d scenarios", c.Done, total)
+	}
+	if c.OK < 0 || c.OK > c.Done {
+		return fmt.Errorf("scenario: checkpoint OK=%d exceeds Done=%d", c.OK, c.Done)
+	}
+	runs := 0
+	for _, fs := range c.Families {
+		runs += fs.Runs
+	}
+	if runs != c.Done {
+		return fmt.Errorf("scenario: checkpoint family runs %d disagree with Done=%d", runs, c.Done)
+	}
+	// The aggregate maintains len(violations) == done-ok by construction;
+	// a truncated violation list would silently drop report sections after
+	// resume.
+	if len(c.Violations) != c.Done-c.OK {
+		return fmt.Errorf("scenario: checkpoint carries %d violations for Done=%d OK=%d (want %d)",
+			len(c.Violations), c.Done, c.OK, c.Done-c.OK)
+	}
+	return nil
+}
+
+// Encode renders the checkpoint as indented JSON.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// DecodeCheckpoint parses and validates an encoded checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("scenario: decode checkpoint: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

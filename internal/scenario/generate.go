@@ -11,9 +11,10 @@ import (
 type GenConfig struct {
 	// MinRing and MaxRing bound the sampled ring sizes. MinRing is
 	// clamped to 4 for samplers that need room for three robots.
-	MinRing, MaxRing int
+	MinRing int `json:"minRing,omitempty"`
+	MaxRing int `json:"maxRing,omitempty"`
 	// MaxRobots bounds the sampled team sizes.
-	MaxRobots int
+	MaxRobots int `json:"maxRobots,omitempty"`
 }
 
 // withDefaults fills unset (zero) fields without overriding explicit

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -167,10 +168,116 @@ var evalPool = sync.Pool{New: func() any {
 	return &evaluator{vt: spec.NewVisitTracker(1), ct: spec.NewConfinementTracker()}
 }}
 
+// RunOptions customizes one oracle run beyond what the declarative Spec
+// pins down. The zero value runs the spec exactly as written; overrides
+// let the facade route imperative configurations (arbitrary Algorithm and
+// Dynamics values, explicit placements, extra observers) through the same
+// unified execution and verdict path.
+type RunOptions struct {
+	// Algorithm, when non-nil, overrides the Spec.Algorithm registry
+	// lookup — the spec's name then only labels the verdict.
+	Algorithm robot.Algorithm
+	// Dynamics, when non-nil, overrides the Spec.Family build. Its ring
+	// size must equal Spec.Ring; the spec's family then only labels the
+	// verdict.
+	Dynamics fsync.Dynamics
+	// Placements, when non-empty, overrides the spec's placement policy
+	// (but never the confinement adversaries' proof configuration).
+	Placements []fsync.Placement
+	// Observers are attached to the simulator in addition to the oracle's
+	// own trackers — trace sinks, diagnostics, custom metrics.
+	Observers []fsync.Observer
+	// CheckEvery is the number of rounds between context-cancellation
+	// polls; values < 1 mean 256. Smaller values cancel long horizons
+	// faster at slightly higher per-round cost.
+	CheckEvery int
+}
+
+// validateForRun checks the spec like Spec.Validate, relaxed by the
+// overrides: an injected Algorithm skips the registry lookup, an injected
+// Dynamics skips the family checks (the engine still validates ring/team
+// shape). Non-positive horizons are always rejected — a zero-round run
+// would report Covered=0 without ever executing, the silent-failure mode
+// the unified entry point exists to close.
+func validateForRun(s Spec, o RunOptions) error {
+	if s.Ring < 2 {
+		return fmt.Errorf("scenario: ring size %d below 2", s.Ring)
+	}
+	if s.Robots < 1 || s.Robots >= s.Ring {
+		return fmt.Errorf("scenario: need 0 < robots < ring, got k=%d n=%d", s.Robots, s.Ring)
+	}
+	if s.Horizon < 1 {
+		return fmt.Errorf("scenario: non-positive horizon %d (a run must execute at least one round)", s.Horizon)
+	}
+	if o.Algorithm == nil {
+		if _, err := resolveAlgorithm(s.Algorithm); err != nil {
+			return err
+		}
+	}
+	if len(o.Placements) == 0 {
+		switch s.Placement {
+		case PlaceRandom, PlaceEven, PlaceAdjacent:
+		default:
+			return fmt.Errorf("scenario: unknown placement %q", s.Placement)
+		}
+	} else if len(o.Placements) != s.Robots {
+		return fmt.Errorf("scenario: %d explicit placements for k=%d robots", len(o.Placements), s.Robots)
+	}
+	if o.Dynamics != nil {
+		if n := o.Dynamics.Ring().Size(); n != s.Ring {
+			return fmt.Errorf("scenario: dynamics ring size %d disagrees with spec ring %d", n, s.Ring)
+		}
+	} else {
+		if !knownFamily(s.Family) {
+			return fmt.Errorf("scenario: unknown family %q", s.Family)
+		}
+		switch s.Family {
+		case FamilyConfineOne:
+			if s.Robots != 1 || s.Ring < 3 {
+				return fmt.Errorf("scenario: %s needs k=1 and n>=3, got k=%d n=%d", s.Family, s.Robots, s.Ring)
+			}
+		case FamilyConfineTwo:
+			if s.Robots != 2 || s.Ring < 4 {
+				return fmt.Errorf("scenario: %s needs k=2 and n>=4, got k=%d n=%d", s.Family, s.Robots, s.Ring)
+			}
+		case FamilyBlockPointed:
+			if s.Params.Budget < 1 {
+				return fmt.Errorf("scenario: %s needs Budget >= 1, got %d", s.Family, s.Params.Budget)
+			}
+		}
+	}
+	switch s.Expect {
+	case "", ExpectExplore, ExpectConfine, ExpectNone:
+	default:
+		return fmt.Errorf("scenario: unknown expectation %q", s.Expect)
+	}
+	return nil
+}
+
 // Run executes the spec and checks the paper's predicate. It never
 // panics: invalid specs and diverging runs come back as error verdicts,
 // so one bad sample cannot take down a million-scenario campaign.
-func Run(s Spec) (v Verdict) {
+func Run(s Spec) Verdict {
+	v, err := RunWith(context.Background(), s, RunOptions{})
+	if err != nil && v.Err == "" {
+		v.Err = err.Error()
+		v.OK = false
+	}
+	return v
+}
+
+// RunWith is the unified oracle entry point behind the public pef.Run: it
+// executes the spec under ctx with the given overrides and checks the
+// paper's predicate for it.
+//
+// Configuration problems (invalid spec, unknown names, inconsistent
+// overrides) return a non-nil error alongside an error verdict. When ctx
+// is cancelled mid-run the partial verdict — metrics over the rounds that
+// did execute, Outcome "cancelled" — is returned together with ctx's
+// error, so long horizons stay cancellable without losing what was
+// already measured. Predicate violations are not errors: they come back
+// as OK=false verdicts.
+func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 	v = Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, CoverTime: -1, Outcome: "error"}
 	if v.Expect == "" {
 		v.Expect = Expectation(s)
@@ -182,40 +289,76 @@ func Run(s Spec) (v Verdict) {
 			v.OK = false
 		}
 	}()
-	if err := s.Validate(); err != nil {
-		v.Err = err.Error()
-		return v
+	if verr := validateForRun(s, o); verr != nil {
+		v.Err = verr.Error()
+		return v, verr
 	}
-	alg, err := resolveAlgorithm(s.Algorithm)
-	if err != nil {
-		v.Err = err.Error()
-		return v
+	alg := o.Algorithm
+	if alg == nil {
+		if alg, err = resolveAlgorithm(s.Algorithm); err != nil {
+			v.Err = err.Error()
+			return v, err
+		}
 	}
-	dyn, err := buildDynamics(s)
-	if err != nil {
-		v.Err = err.Error()
-		return v
+	dyn := o.Dynamics
+	if dyn == nil {
+		if dyn, err = buildDynamics(s); err != nil {
+			v.Err = err.Error()
+			return v, err
+		}
+	}
+	place := o.Placements
+	if len(place) == 0 || s.Family == FamilyConfineOne || s.Family == FamilyConfineTwo {
+		place = placements(s)
 	}
 	ev := evalPool.Get().(*evaluator)
 	defer evalPool.Put(ev)
 	vt, ct := ev.vt, ev.ct
 	vt.Reset(s.Ring)
 	ct.Reset()
+	observers := make([]fsync.Observer, 0, 2+len(o.Observers))
+	observers = append(observers, vt, ct)
+	observers = append(observers, o.Observers...)
 	sim, err := fsync.Acquire(fsync.Config{
 		Algorithm:  alg,
 		Dynamics:   dyn,
-		Placements: placements(s),
-		Observers:  []fsync.Observer{vt, ct},
+		Placements: place,
+		Observers:  observers,
 	})
 	if err != nil {
 		v.Err = err.Error()
-		return v
+		return v, err
 	}
-	sim.Run(s.Horizon)
+	check := o.CheckEvery
+	if check < 1 {
+		check = 256
+	}
+	cancelled := false
+	for sim.Now() < s.Horizon {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		target := sim.Now() + check
+		if target > s.Horizon {
+			target = s.Horizon
+		}
+		for sim.Now() < target {
+			sim.Step() // not sim.Run: its returned Snapshot would allocate per chunk
+		}
+	}
+	executed := sim.Now()
 	sim.Release()
 	rep := vt.Report()
 	v.Covered, v.CoverTime, v.MaxGap = rep.Covered, rep.CoverTime, rep.MaxGap
 	v.Distinct = ct.Distinct()
+	if cancelled {
+		err := ctx.Err()
+		v.Outcome = "cancelled"
+		v.Err = fmt.Sprintf("cancelled after %d of %d rounds: %v", executed, s.Horizon, err)
+		v.OK = false
+		return v, err
+	}
 
 	exploreMsg := rep.ExploreViolation(2, s.Horizon/2)
 	v.Outcome = "partial"
@@ -228,7 +371,7 @@ func Run(s Spec) (v Verdict) {
 		if exploreMsg != "" {
 			v.Violation = exploreMsg
 			v.OK = false
-			return v
+			return v, nil
 		}
 		v.OK = true
 	case ExpectConfine:
@@ -244,5 +387,5 @@ func Run(s Spec) (v Verdict) {
 	default: // ExpectNone: informational
 		v.OK = true
 	}
-	return v
+	return v, nil
 }

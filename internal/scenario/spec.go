@@ -219,48 +219,11 @@ func knownFamily(name string) bool {
 
 // Validate checks structural well-formedness: sizes in range, known
 // algorithm/placement/family/expectation names, and family-specific team
-// constraints for the confinement adversaries.
+// constraints for the confinement adversaries. It is exactly the
+// override-free case of the oracle's validateForRun, so the declarative
+// and run-time rule sets cannot drift.
 func (s Spec) Validate() error {
-	if s.Ring < 2 {
-		return fmt.Errorf("scenario: ring size %d below 2", s.Ring)
-	}
-	if s.Robots < 1 || s.Robots >= s.Ring {
-		return fmt.Errorf("scenario: need 0 < robots < ring, got k=%d n=%d", s.Robots, s.Ring)
-	}
-	if s.Horizon < 1 {
-		return fmt.Errorf("scenario: non-positive horizon %d", s.Horizon)
-	}
-	if _, err := resolveAlgorithm(s.Algorithm); err != nil {
-		return err
-	}
-	switch s.Placement {
-	case PlaceRandom, PlaceEven, PlaceAdjacent:
-	default:
-		return fmt.Errorf("scenario: unknown placement %q", s.Placement)
-	}
-	if !knownFamily(s.Family) {
-		return fmt.Errorf("scenario: unknown family %q", s.Family)
-	}
-	switch s.Family {
-	case FamilyConfineOne:
-		if s.Robots != 1 || s.Ring < 3 {
-			return fmt.Errorf("scenario: %s needs k=1 and n>=3, got k=%d n=%d", s.Family, s.Robots, s.Ring)
-		}
-	case FamilyConfineTwo:
-		if s.Robots != 2 || s.Ring < 4 {
-			return fmt.Errorf("scenario: %s needs k=2 and n>=4, got k=%d n=%d", s.Family, s.Robots, s.Ring)
-		}
-	case FamilyBlockPointed:
-		if s.Params.Budget < 1 {
-			return fmt.Errorf("scenario: %s needs Budget >= 1, got %d", s.Family, s.Params.Budget)
-		}
-	}
-	switch s.Expect {
-	case "", ExpectExplore, ExpectConfine, ExpectNone:
-	default:
-		return fmt.Errorf("scenario: unknown expectation %q", s.Expect)
-	}
-	return nil
+	return validateForRun(s, RunOptions{})
 }
 
 // paperAlgorithm returns the paper algorithm proven to explore at (n, k) —

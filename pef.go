@@ -21,17 +21,22 @@
 //     checking the paper's predicates over sharded campaigns of generated
 //     scenarios (see SCENARIOS.md).
 //
-// Quick start:
+// Quick start — the unified, context-aware entry point runs a declarative
+// scenario and checks the paper's prediction for it:
 //
-//	report, err := pef.Explore(pef.ExploreConfig{
-//		Nodes:     8,
-//		Robots:    3,
-//		Algorithm: pef.PEF3Plus(),
-//		Dynamics:  pef.EventualMissing(8, 0, 32, 42),
-//		Horizon:   1600,
-//		Seed:      42,
+//	verdict, err := pef.Run(ctx, pef.Scenario{
+//		Ring: 8, Robots: 3, Algorithm: "pef3+", Placement: "random",
+//		Family: "eventual-missing", Params: pef.ScenarioParams{Edge: 2, From: 32, P: 0.7, Delta: 4},
+//		Horizon: 1600, Seed: 42,
 //	})
-//	// report.Covered == 8, report.MaxGap bounded: perpetual exploration.
+//	// verdict.OK, verdict.Covered, verdict.MaxGap: perpetual exploration.
+//
+// Imperative configurations ride the same path through options
+// (WithDynamics, WithAlgorithm, WithPlacements, WithObservers, WithTrace);
+// the classic Explore/Confine calls remain as thin wrappers. Campaigns
+// stream verdicts with bounded memory via StreamCampaign, checkpoint and
+// resume via CampaignConfig.Resume, and shrink any violation to a minimal
+// reproducer with Minimize.
 package pef
 
 import (
@@ -101,35 +106,63 @@ type ExploreConfig struct {
 	Placements []Placement
 }
 
-// Explore runs a fully synchronous execution and reports coverage, cover
-// time and the maximum revisit gap — the empirical signature of perpetual
-// exploration.
-func Explore(cfg ExploreConfig) (ExplorationReport, error) {
+// explorePlacements validates an ExploreConfig and realizes its initial
+// configuration, shared by Explore and ExploreWithDiagram.
+func explorePlacements(cfg ExploreConfig) ([]Placement, int, error) {
 	if cfg.Algorithm == nil || cfg.Dynamics == nil {
-		return ExplorationReport{}, fmt.Errorf("pef: ExploreConfig requires Algorithm and Dynamics")
+		return nil, 0, fmt.Errorf("pef: ExploreConfig requires Algorithm and Dynamics")
 	}
 	n := cfg.Dynamics.Ring().Size()
 	if cfg.Nodes != 0 && cfg.Nodes != n {
-		return ExplorationReport{}, fmt.Errorf("pef: Nodes=%d disagrees with dynamics ring size %d", cfg.Nodes, n)
+		return nil, 0, fmt.Errorf("pef: Nodes=%d disagrees with dynamics ring size %d", cfg.Nodes, n)
+	}
+	if cfg.Horizon < 1 {
+		// A zero-round "run" used to be accepted silently and report
+		// Covered=0; the unified path rejects it loudly instead.
+		return nil, 0, fmt.Errorf("pef: Horizon must be >= 1, got %d (a non-positive horizon executes no rounds)", cfg.Horizon)
 	}
 	placements := cfg.Placements
 	if placements == nil {
 		if cfg.Robots <= 0 || cfg.Robots >= n {
-			return ExplorationReport{}, fmt.Errorf("pef: need 0 < Robots < Nodes, got k=%d n=%d", cfg.Robots, n)
+			return nil, 0, fmt.Errorf("pef: need 0 < Robots < Nodes, got k=%d n=%d", cfg.Robots, n)
 		}
 		placements = fsync.RandomPlacements(n, cfg.Robots, prng.NewSource(cfg.Seed))
 	}
-	vt := spec.NewVisitTracker(n)
-	sim, err := fsync.New(fsync.Config{
-		Algorithm:  cfg.Algorithm,
-		Dynamics:   cfg.Dynamics,
-		Placements: placements,
-		Observers:  []fsync.Observer{vt},
-	})
+	return placements, n, nil
+}
+
+// Explore runs a fully synchronous execution under ctx and reports
+// coverage, cover time and the maximum revisit gap — the empirical
+// signature of perpetual exploration. On cancellation it returns the
+// partial report over the rounds that executed together with ctx's error.
+//
+// Deprecated: Explore is a thin wrapper kept for the classic imperative
+// call sites; new code should use Run with a Scenario (plus WithDynamics
+// for dynamics values that no declarative family describes).
+func Explore(ctx context.Context, cfg ExploreConfig) (ExplorationReport, error) {
+	placements, n, err := explorePlacements(cfg)
 	if err != nil {
-		return ExplorationReport{}, fmt.Errorf("pef: %w", err)
+		return ExplorationReport{}, err
 	}
-	sim.Run(cfg.Horizon)
+	vt := spec.NewVisitTracker(n)
+	_, err = Run(ctx, Scenario{
+		Version:   scenario.Version,
+		Ring:      n,
+		Robots:    len(placements),
+		Algorithm: cfg.Algorithm.Name(),
+		Family:    "external",
+		Horizon:   cfg.Horizon,
+		Seed:      cfg.Seed,
+		Expect:    scenario.ExpectNone,
+	},
+		WithAlgorithm(cfg.Algorithm),
+		WithDynamics(cfg.Dynamics),
+		WithPlacements(placements...),
+		WithObservers(vt),
+	)
+	if err != nil {
+		return vt.Report(), fmt.Errorf("pef: %w", err)
+	}
 	return vt.Report(), nil
 }
 
@@ -146,54 +179,61 @@ type ConfinementReport struct {
 	Confined bool
 }
 
-// ConfineOneRobot runs the Theorem 5.1 adversary against alg on an n-node
-// ring (n >= 3) for the given horizon: the robot visits at most two nodes,
-// whatever alg does.
-func ConfineOneRobot(alg Algorithm, n, horizon int) (ConfinementReport, error) {
-	adv := adversary.NewOneRobotConfinement(n, 0, 0)
-	ct := spec.NewConfinementTracker()
-	sim, err := fsync.New(fsync.Config{
-		Algorithm:  alg,
-		Dynamics:   adv,
-		Placements: []Placement{{Node: 0, Chirality: RightIsCW}},
-		Observers:  []fsync.Observer{ct},
-	})
-	if err != nil {
-		return ConfinementReport{}, fmt.Errorf("pef: %w", err)
+// confine runs one of the paper's confinement adversaries against alg via
+// the unified Run path: the scenario family selects the theorem adversary
+// and the proof's initial configuration, the injected Algorithm value is
+// the victim, and an extra tracker collects the visited-node list the
+// ConfinementReport exposes.
+func confine(ctx context.Context, family string, alg Algorithm, n, k, horizon, limit int) (ConfinementReport, error) {
+	if alg == nil {
+		return ConfinementReport{}, fmt.Errorf("pef: nil algorithm")
 	}
-	sim.Run(horizon)
-	return ConfinementReport{
+	ct := spec.NewConfinementTracker()
+	_, err := Run(ctx, Scenario{
+		Version:   scenario.Version,
+		Ring:      n,
+		Robots:    k,
+		Algorithm: alg.Name(),
+		Placement: scenario.PlaceAdjacent, // label only: the family pins the proof placement
+		Family:    family,
+		Horizon:   horizon,
+		Seed:      0,
+		Expect:    scenario.ExpectConfine,
+	},
+		WithAlgorithm(alg),
+		WithObservers(ct),
+	)
+	rep := ConfinementReport{
 		DistinctVisited: ct.Distinct(),
 		VisitedNodes:    ct.VisitedNodes(),
-		Limit:           2,
-		Confined:        ct.ConfinedTo(2),
-	}, nil
+		Limit:           limit,
+		Confined:        ct.ConfinedTo(limit),
+	}
+	if err != nil {
+		return rep, fmt.Errorf("pef: %w", err)
+	}
+	return rep, nil
+}
+
+// ConfineOneRobot runs the Theorem 5.1 adversary against alg on an n-node
+// ring (n >= 3) for the given horizon under ctx: the robot visits at most
+// two nodes, whatever alg does. On cancellation it returns the partial
+// report together with ctx's error.
+//
+// Deprecated: ConfineOneRobot is a thin wrapper kept for the classic call
+// sites; new code should use Run with a Family "confine-one" Scenario.
+func ConfineOneRobot(ctx context.Context, alg Algorithm, n, horizon int) (ConfinementReport, error) {
+	return confine(ctx, scenario.FamilyConfineOne, alg, n, 1, horizon, 2)
 }
 
 // ConfineTwoRobots runs the Theorem 4.1 adversary against alg on an n-node
-// ring (n >= 4): the two robots visit at most three nodes.
-func ConfineTwoRobots(alg Algorithm, n, horizon int) (ConfinementReport, error) {
-	adv := adversary.NewTwoRobotConfinement(n, 0, 0, 1)
-	ct := spec.NewConfinementTracker()
-	sim, err := fsync.New(fsync.Config{
-		Algorithm: alg,
-		Dynamics:  adv,
-		Placements: []Placement{
-			{Node: 0, Chirality: RightIsCW},
-			{Node: 1, Chirality: RightIsCCW},
-		},
-		Observers: []fsync.Observer{ct},
-	})
-	if err != nil {
-		return ConfinementReport{}, fmt.Errorf("pef: %w", err)
-	}
-	sim.Run(horizon)
-	return ConfinementReport{
-		DistinctVisited: ct.Distinct(),
-		VisitedNodes:    ct.VisitedNodes(),
-		Limit:           3,
-		Confined:        ct.ConfinedTo(3),
-	}, nil
+// ring (n >= 4) under ctx: the two robots visit at most three nodes. On
+// cancellation it returns the partial report together with ctx's error.
+//
+// Deprecated: ConfineTwoRobots is a thin wrapper kept for the classic call
+// sites; new code should use Run with a Family "confine-two" Scenario.
+func ConfineTwoRobots(ctx context.Context, alg Algorithm, n, horizon int) (ConfinementReport, error) {
+	return confine(ctx, scenario.FamilyConfineTwo, alg, n, 2, horizon, 3)
 }
 
 // Static returns the dynamics in which every edge is always present.

@@ -1,6 +1,7 @@
 package pef
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -11,7 +12,7 @@ var registerOnce sync.Once
 func register() { registerOnce.Do(RegisterBuiltins) }
 
 func TestExploreStaticRing(t *testing.T) {
-	rep, err := Explore(ExploreConfig{
+	rep, err := Explore(context.Background(), ExploreConfig{
 		Robots:    3,
 		Algorithm: PEF3Plus(),
 		Dynamics:  Static(8),
@@ -27,7 +28,7 @@ func TestExploreStaticRing(t *testing.T) {
 }
 
 func TestExploreEventualMissing(t *testing.T) {
-	rep, err := Explore(ExploreConfig{
+	rep, err := Explore(context.Background(), ExploreConfig{
 		Robots:    3,
 		Algorithm: PEF3Plus(),
 		Dynamics:  EventualMissing(8, 2, 30, 7),
@@ -53,7 +54,7 @@ func TestExploreAllThreeAlgorithmsInTheirRange(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			rep, err := Explore(c.cfg)
+			rep, err := Explore(context.Background(), c.cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,19 +69,19 @@ func TestExploreAllThreeAlgorithmsInTheirRange(t *testing.T) {
 }
 
 func TestExploreValidation(t *testing.T) {
-	if _, err := Explore(ExploreConfig{}); err == nil {
+	if _, err := Explore(context.Background(), ExploreConfig{}); err == nil {
 		t.Error("empty config accepted")
 	}
-	if _, err := Explore(ExploreConfig{Algorithm: PEF1(), Dynamics: Static(4), Robots: 4}); err == nil {
+	if _, err := Explore(context.Background(), ExploreConfig{Algorithm: PEF1(), Dynamics: Static(4), Robots: 4}); err == nil {
 		t.Error("k = n accepted")
 	}
-	if _, err := Explore(ExploreConfig{Algorithm: PEF1(), Dynamics: Static(4), Robots: 1, Nodes: 5}); err == nil {
+	if _, err := Explore(context.Background(), ExploreConfig{Algorithm: PEF1(), Dynamics: Static(4), Robots: 1, Nodes: 5}); err == nil {
 		t.Error("inconsistent Nodes accepted")
 	}
 }
 
 func TestConfineOneRobotFacade(t *testing.T) {
-	rep, err := ConfineOneRobot(PEF3Plus(), 8, 400)
+	rep, err := ConfineOneRobot(context.Background(), PEF3Plus(), 8, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestConfineOneRobotFacade(t *testing.T) {
 }
 
 func TestConfineTwoRobotsFacade(t *testing.T) {
-	rep, err := ConfineTwoRobots(PEF3Plus(), 8, 400)
+	rep, err := ConfineTwoRobots(context.Background(), PEF3Plus(), 8, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestConfineTwoRobotsFacade(t *testing.T) {
 }
 
 func TestBlockPointedDynamicsFacade(t *testing.T) {
-	rep, err := Explore(ExploreConfig{
+	rep, err := Explore(context.Background(), ExploreConfig{
 		Robots:    3,
 		Algorithm: PEF3Plus(),
 		Dynamics:  BlockPointed(6, 3),
@@ -126,7 +127,7 @@ func TestChainAndRovingDynamics(t *testing.T) {
 		"chain":  Chain(6, 2, 13),
 		"roving": Roving(6, 3),
 	} {
-		rep, err := Explore(ExploreConfig{
+		rep, err := Explore(context.Background(), ExploreConfig{
 			Robots:    3,
 			Algorithm: PEF3Plus(),
 			Dynamics:  dyn,
@@ -143,7 +144,7 @@ func TestChainAndRovingDynamics(t *testing.T) {
 }
 
 func TestTIntervalDynamics(t *testing.T) {
-	rep, err := Explore(ExploreConfig{
+	rep, err := Explore(context.Background(), ExploreConfig{
 		Robots:    3,
 		Algorithm: PEF3Plus(),
 		Dynamics:  TInterval(8, 4, 17),
@@ -180,7 +181,7 @@ func TestRegistryFacade(t *testing.T) {
 }
 
 func TestExplicitPlacements(t *testing.T) {
-	rep, err := Explore(ExploreConfig{
+	rep, err := Explore(context.Background(), ExploreConfig{
 		Algorithm: PEF3Plus(),
 		Dynamics:  Static(6),
 		Horizon:   120,

@@ -6,7 +6,6 @@ import (
 	"pef/internal/adversary"
 	"pef/internal/dynamics"
 	"pef/internal/fsync"
-	"pef/internal/prng"
 	"pef/internal/spec"
 	"pef/internal/trace"
 )
@@ -26,16 +25,9 @@ func Periodic(n int, patterns [][]bool) (Dynamics, error) {
 // ExploreWithDiagram is Explore plus a rendered space-time diagram of the
 // first rows instants (Figures 2/3 style: robots, towers, missing edges).
 func ExploreWithDiagram(cfg ExploreConfig, rows int) (ExplorationReport, string, error) {
-	if cfg.Algorithm == nil || cfg.Dynamics == nil {
-		return ExplorationReport{}, "", fmt.Errorf("pef: ExploreConfig requires Algorithm and Dynamics")
-	}
-	n := cfg.Dynamics.Ring().Size()
-	placements := cfg.Placements
-	if placements == nil {
-		if cfg.Robots <= 0 || cfg.Robots >= n {
-			return ExplorationReport{}, "", fmt.Errorf("pef: need 0 < Robots < Nodes, got k=%d n=%d", cfg.Robots, n)
-		}
-		placements = fsync.RandomPlacements(n, cfg.Robots, prng.NewSource(cfg.Seed))
+	placements, n, err := explorePlacements(cfg)
+	if err != nil {
+		return ExplorationReport{}, "", err
 	}
 	vt := spec.NewVisitTracker(n)
 	rec := &fsync.SnapshotRecorder{}
