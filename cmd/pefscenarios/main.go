@@ -7,14 +7,26 @@
 // with bounded memory (verdicts fold into an online aggregate, never a
 // slice) and their output is byte-identical for any worker count.
 //
+// Every name the tool accepts — generators, dynamics families, algorithms,
+// oracle properties — resolves through the scenario extension registry;
+// -list prints the full enumeration.
+//
 //	pefscenarios                               # 100 uniform scenarios, seed 1
 //	pefscenarios -count 1000 -seeds 4          # 4000 scenarios, seeds 1..4
 //	pefscenarios -family boundary -json        # machine-readable sweep output
-//	pefscenarios -list                         # list the generator families
+//	pefscenarios -family registered \
+//	             -families periodic,compose:union  # combinator families only
+//	pefscenarios -list                         # list the registry contents
 //
 //	# checkpoint/resume: run half, stop, resume — final report identical
 //	pefscenarios -count 1000 -checkpoint c.json -halt-after 500
 //	pefscenarios -resume c.json
+//
+//	# multi-process sharding: run disjoint blocks anywhere, then merge —
+//	# the merged report is byte-identical to the single-process run
+//	pefscenarios -count 1000 -shard-index 0 -shard-count 2 -checkpoint a.json
+//	pefscenarios -count 1000 -shard-index 1 -shard-count 2 -checkpoint b.json
+//	pefscenarios -merge a.json b.json
 //
 // Flags:
 //
@@ -23,18 +35,34 @@
 //	-seeds N         sweep N consecutive generator seeds starting at -seed
 //	-workers M       worker pool size; <1 means GOMAXPROCS. Output is
 //	                 byte-identical for any worker count.
-//	-family F        generator family: uniform, boundary, markov, adversarial
+//	-family F        generator: uniform, boundary, markov, adversarial,
+//	                 registered (see -list)
+//	-families F,G    restrict the "registered" generator to these
+//	                 registered explorable families
 //	-maxring N       largest sampled ring size (default 16)
 //	-json            emit the versioned campaign document (for BENCH_*.json)
-//	-list            list the generator families and exit
+//	-list            list the registry contents (generators, families,
+//	                 algorithms, properties) and exit
 //	-checkpoint P    write a resumable campaign checkpoint to P when the
 //	                 campaign finishes or halts
+//	-checkpoint-every N
+//	                 additionally write a rotating checkpoint (P.1, with
+//	                 the previous one kept at P.2; fsync + atomic rename)
+//	                 every N aggregated scenarios, so a very long sweep
+//	                 survives a kill without waiting for the final write
 //	-halt-after N    stop after aggregating N scenarios (requires
 //	                 -checkpoint; simulates a kill for resume testing)
 //	-resume P        continue the campaign checkpointed at P: its
-//	                 generator, bounds, count and seeds are adopted, the
-//	                 finished prefix is skipped, and the final report is
-//	                 byte-identical to an uninterrupted run
+//	                 generator, bounds, count, seeds and shard block are
+//	                 adopted, the finished prefix is skipped, and the
+//	                 final report is byte-identical to an uninterrupted run
+//	-shard-index I   with -shard-count, run only shard I (0-based) of the
+//	-shard-count C   canonical stream: the contiguous block
+//	                 [I·total/C, (I+1)·total/C). Requires -checkpoint so
+//	                 the block's aggregate can be merged later.
+//	-merge A B ...   fold completed per-shard checkpoints into the
+//	                 whole-campaign report (they must tile the stream) and
+//	                 exit with the usual violation status
 //	-minimize        shrink each violation to a minimal reproducer and
 //	                 append it to the report (report mode only)
 //
@@ -67,23 +95,31 @@ func run(args []string, stdout io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "base generator seed")
 		seeds      = fs.Int("seeds", 1, "number of consecutive generator seeds, starting at -seed")
 		workers    = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
-		family     = fs.String("family", "uniform", "generator family (see -list)")
+		family     = fs.String("family", "uniform", "generator (see -list)")
+		families   = fs.String("families", "", "comma-separated family pool for the registered generator")
 		maxRing    = fs.Int("maxring", 16, "largest sampled ring size")
 		jsonOut    = fs.Bool("json", false, "emit the versioned campaign document")
-		list       = fs.Bool("list", false, "list the generator families and exit")
+		list       = fs.Bool("list", false, "list the registry contents and exit")
 		checkpoint = fs.String("checkpoint", "", "write a resumable checkpoint to this path on finish or halt")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "write a rotating checkpoint every N aggregated scenarios")
 		haltAfter  = fs.Int("halt-after", 0, "stop after aggregating this many scenarios (requires -checkpoint)")
 		resume     = fs.String("resume", "", "resume the campaign checkpointed at this path")
+		shardIdx   = fs.Int("shard-index", 0, "run only this shard of the campaign (with -shard-count)")
+		shardCnt   = fs.Int("shard-count", 0, "number of contiguous shards the campaign is split into")
+		merge      = fs.Bool("merge", false, "merge completed per-shard checkpoint files (positional args) into one report")
 		minimize   = fs.Bool("minimize", false, "append a minimal reproducer per violation (report mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
-		for _, g := range scenario.Generators() {
-			fmt.Fprintf(stdout, "%-12s %s\n", g.Name, g.Description)
-		}
-		return nil
+		return writeList(stdout)
+	}
+	if *merge {
+		return runMerge(fs.Args(), *jsonOut, stdout)
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v (checkpoint files are only positional with -merge)", fs.Args())
 	}
 	if *count < 1 {
 		return fmt.Errorf("-count must be >= 1, got %d", *count)
@@ -97,6 +133,15 @@ func run(args []string, stdout io.Writer) error {
 	if *haltAfter > 0 && *checkpoint == "" {
 		return fmt.Errorf("-halt-after requires -checkpoint (a halted campaign without one is unrecoverable)")
 	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0, got %d", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *checkpoint == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint (it rotates that path)")
+	}
+	if *shardCnt > 0 && *checkpoint == "" {
+		return fmt.Errorf("-shard-count requires -checkpoint (a shard's aggregate is merged from its checkpoint)")
+	}
 	if *minimize && *jsonOut {
 		return fmt.Errorf("-minimize applies to the report mode, not -json")
 	}
@@ -106,7 +151,11 @@ func run(args []string, stdout io.Writer) error {
 	// flag *defaults* must not shadow the checkpointed values.
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	cfg := scenario.CampaignConfig{Workers: *workers}
+	cfg := scenario.CampaignConfig{
+		Workers:    *workers,
+		ShardIndex: *shardIdx,
+		ShardCount: *shardCnt,
+	}
 	if *resume != "" {
 		data, err := os.ReadFile(*resume)
 		if err != nil {
@@ -127,21 +176,28 @@ func run(args []string, stdout io.Writer) error {
 	if *resume == "" || explicit["seed"] || explicit["seeds"] {
 		cfg.Seeds = harness.Seeds(*seed, *seeds)
 	}
-	if *resume == "" || explicit["maxring"] {
-		cfg.Gen = scenario.GenConfig{MaxRing: *maxRing}
+	if *resume == "" || explicit["maxring"] || explicit["families"] {
+		cfg.Gen = scenario.GenConfig{MaxRing: *maxRing, Families: *families}
 	}
 
 	agg, err := scenario.NewAggregate(cfg)
 	if err != nil {
 		return err
 	}
+	start := agg.Start() + agg.Done()
 	halted := false
 	for v, serr := range scenario.StreamCampaign(context.Background(), cfg) {
 		if serr != nil && v.ID == "" {
 			return serr // configuration failure: nothing ran
 		}
 		agg.Add(v)
-		if *haltAfter > 0 && agg.Done()-startOf(cfg) >= *haltAfter {
+		ran := agg.Start() + agg.Done() - start
+		if *ckptEvery > 0 && ran%*ckptEvery == 0 {
+			if err := writeRotatingCheckpoint(*checkpoint, agg); err != nil {
+				return err
+			}
+		}
+		if *haltAfter > 0 && ran >= *haltAfter {
 			halted = true
 			break
 		}
@@ -157,7 +213,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if halted {
 		fmt.Fprintf(stdout, "halted after %d of %d scenarios; resume with -resume %s\n",
-			agg.Done(), agg.Count*len(agg.Seeds), *checkpoint)
+			agg.Done(), agg.End()-agg.Start(), *checkpoint)
 		return nil
 	}
 
@@ -188,10 +244,110 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// startOf returns the number of scenarios a resumed campaign starts from.
-func startOf(cfg scenario.CampaignConfig) int {
-	if cfg.Resume != nil {
-		return cfg.Resume.Done
+// writeList enumerates the extension registry: the generators plus every
+// registered family, algorithm and oracle property, in canonical
+// (registration) order.
+func writeList(w io.Writer) error {
+	r := scenario.DefaultRegistry()
+	if _, err := fmt.Fprintln(w, "generators:"); err != nil {
+		return err
 	}
-	return 0
+	for _, g := range scenario.Generators() {
+		if _, err := fmt.Fprintf(w, "  %-20s %s\n", g.Name, g.Description); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "families:"); err != nil {
+		return err
+	}
+	for _, name := range r.FamilyNames() {
+		d, _ := r.Family(name)
+		if _, err := fmt.Fprintf(w, "  %-20s %s\n", name, d.Description); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "algorithms:"); err != nil {
+		return err
+	}
+	for _, name := range r.AlgorithmNames() {
+		d, _ := r.AlgorithmDescriptor(name)
+		if _, err := fmt.Fprintf(w, "  %-20s %s\n", name, d.Description); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "properties:"); err != nil {
+		return err
+	}
+	for _, name := range r.PropertyNames() {
+		p, _ := r.Property(name)
+		if _, err := fmt.Fprintf(w, "  %-20s %s\n", name, p.Description); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runMerge folds completed per-shard checkpoints into the whole-campaign
+// report, byte-identical to a single-process run.
+func runMerge(paths []string, jsonOut bool, stdout io.Writer) error {
+	if len(paths) < 1 {
+		return fmt.Errorf("-merge needs at least one checkpoint file")
+	}
+	ckpts := make([]*scenario.Checkpoint, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if ckpts[i], err = scenario.DecodeCheckpoint(data); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	agg, err := scenario.MergeCheckpoints(ckpts...)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := agg.WriteJSON(stdout); err != nil {
+			return err
+		}
+	} else if err := agg.WriteReport(stdout); err != nil {
+		return err
+	}
+	if n := len(agg.Violations()); n > 0 {
+		return fmt.Errorf("%d of %d scenario(s) violate the paper's predicates", n, agg.Done())
+	}
+	return nil
+}
+
+// writeRotatingCheckpoint writes the aggregate's checkpoint to path.1,
+// rotating the previous one to path.2 (keep last two), via fsync and an
+// atomic rename so a kill mid-write never corrupts an existing file.
+func writeRotatingCheckpoint(path string, agg *scenario.Aggregate) error {
+	data, err := agg.Checkpoint().Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if _, err := os.Stat(path + ".1"); err == nil {
+		if err := os.Rename(path+".1", path+".2"); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmp, path+".1")
 }

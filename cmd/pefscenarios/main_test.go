@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pef/internal/scenario"
 )
 
 // TestRunByteIdenticalAcrossWorkers checks the CLI-level determinism
@@ -138,5 +143,133 @@ func TestHaltAndMinimizeFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-minimize", "-json"}, &bytes.Buffer{}); err == nil {
 		t.Error("-minimize with -json accepted")
+	}
+}
+
+// TestListEnumeratesRegistry pins the -list contract CI leans on: every
+// registered generator, family, algorithm and property appears in the
+// listing, section by section.
+func TestListEnumeratesRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{"generators:", "families:", "algorithms:", "properties:"} {
+		if !strings.Contains(out, section) {
+			t.Fatalf("-list output missing section %q:\n%s", section, out)
+		}
+	}
+	r := scenario.DefaultRegistry()
+	var want []string
+	for _, g := range scenario.Generators() {
+		want = append(want, g.Name)
+	}
+	want = append(want, r.FamilyNames()...)
+	want = append(want, r.AlgorithmNames()...)
+	want = append(want, r.PropertyNames()...)
+	for _, name := range want {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing registry entry %q", name)
+		}
+	}
+}
+
+// TestShardMergeByteIdentity runs a campaign as three shard processes,
+// merges their checkpoints with -merge, and requires both output modes to
+// be byte-identical to the single-process run.
+func TestShardMergeByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-family", "boundary", "-count", "40", "-seeds", "2", "-maxring", "8"}
+
+	var whole, wholeJSON bytes.Buffer
+	if err := run(append([]string{"-workers", "2"}, base...), &whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-workers", "2", "-json"}, base...), &wholeJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	var paths []string
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		paths = append(paths, p)
+		args := append([]string{
+			"-shard-index", fmt.Sprint(i), "-shard-count", "3",
+			"-checkpoint", p, "-workers", fmt.Sprint(i + 1),
+		}, base...)
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+
+	var merged bytes.Buffer
+	if err := run(append([]string{"-merge"}, paths...), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != whole.String() {
+		t.Fatal("merged shard report differs from single-process run")
+	}
+	var mergedJSON bytes.Buffer
+	if err := run(append([]string{"-merge", "-json"}, paths...), &mergedJSON); err != nil {
+		t.Fatal(err)
+	}
+	if mergedJSON.String() != wholeJSON.String() {
+		t.Fatal("merged shard JSON differs from single-process run")
+	}
+
+	// Merging with a missing shard fails loudly.
+	if err := run([]string{"-merge", paths[0], paths[2]}, io.Discard); err == nil {
+		t.Error("merge with a missing shard accepted")
+	}
+	// Sharding without a checkpoint is rejected (the block would be lost).
+	if err := run(append([]string{"-shard-index", "0", "-shard-count", "2"}, base...), io.Discard); err == nil {
+		t.Error("-shard-count without -checkpoint accepted")
+	}
+}
+
+// TestCheckpointRotation checks -checkpoint-every: rotating .1/.2 files
+// appear, stay decodable, trail the aggregate by the rotation cadence,
+// and resuming from the freshest one reproduces the uninterrupted report.
+func TestCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "rot.json")
+	base := []string{"-family", "uniform", "-count", "35", "-maxring", "8"}
+
+	var whole bytes.Buffer
+	if err := run(base, &whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-checkpoint", ckpt, "-checkpoint-every", "10"}, base...), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := os.ReadFile(ckpt + ".1")
+	if err != nil {
+		t.Fatalf("rotating checkpoint .1 missing: %v", err)
+	}
+	previous, err := os.ReadFile(ckpt + ".2")
+	if err != nil {
+		t.Fatalf("rotating checkpoint .2 missing: %v", err)
+	}
+	ck1, err := scenario.DecodeCheckpoint(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := scenario.DecodeCheckpoint(previous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck1.Done != 30 || ck2.Done != 20 {
+		t.Fatalf("rotation kept Done=%d/%d, want 30/20", ck1.Done, ck2.Done)
+	}
+	var resumed bytes.Buffer
+	if err := run([]string{"-resume", ckpt + ".1"}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != whole.String() {
+		t.Fatal("resume from rotating checkpoint differs from uninterrupted run")
+	}
+	if err := run(append([]string{"-checkpoint-every", "5"}, base...), io.Discard); err == nil {
+		t.Error("-checkpoint-every without -checkpoint accepted")
 	}
 }

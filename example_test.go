@@ -146,3 +146,80 @@ func ExampleMinimize() {
 	// minimal reproducer: v1/n5.k3/oscillator/adjacent/static/h6/s7/explore
 	// still violating: true
 }
+
+// The extension registry makes user dynamics first-class: register a
+// family descriptor once and declarative scenarios, campaigns, the
+// minimizer and the CLI listings all resolve it by name. Here a "half-day"
+// family — edges alternate day/night shifts of Period rounds, phase split
+// down the middle of the ring — runs under the paper's explore predicate.
+func ExampleRegisterFamily() {
+	err := pef.RegisterFamily("half-day", pef.FamilyDescriptor{
+		Description: "edges on the first half of the ring work days, the rest nights",
+		Params: []pef.ParamField{
+			{Name: "period", Kind: pef.ParamInt, Min: 1, Max: 32, Required: true, Doc: "shift length"},
+		},
+		Explorable: true,
+		Graph: func(s pef.Scenario) (pef.EvolvingGraph, error) {
+			r := pef.NewRing(s.Ring)
+			period, half := s.Params.Period, s.Ring/2
+			return presentFunc{r: r, f: func(e, t int) bool {
+				day := (t/period)%2 == 0
+				return day == (e < half)
+			}}, nil
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	verdict, err := pef.Run(context.Background(), pef.Scenario{
+		Version: 1, Ring: 8, Robots: 3, Algorithm: "pef3+", Placement: "even",
+		Family: "half-day", Params: pef.ScenarioParams{Period: 3},
+		Horizon: 2400, Seed: 5,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("expect=%s outcome=%s ok=%t\n", verdict.Expect, verdict.Outcome, verdict.OK)
+	// Output:
+	// expect=explore outcome=explored ok=true
+}
+
+// presentFunc adapts a presence function to the EvolvingGraph interface.
+type presentFunc struct {
+	r pef.Ring
+	f func(e, t int) bool
+}
+
+func (g presentFunc) Ring() pef.Ring { return g.r }
+func (g presentFunc) Present(e, t int) bool {
+	return g.r.ValidEdge(e) && t >= 0 && g.f(e, t)
+}
+
+// ComposeFamilies folds registered oblivious families into one schedule —
+// here the intersection of Bernoulli noise with a T-interval-connected
+// ring, each adversary vetoing edges independently. The descriptor can be
+// registered like any family; building it directly shows the shared
+// parameter bag in action.
+func ExampleComposeFamilies() {
+	desc, err := pef.ComposeFamilies(pef.ComposeIntersect, "bernoulli", "t-interval")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(desc.Description)
+	verdict, err := pef.Run(context.Background(), pef.Scenario{
+		Version: 1, Ring: 8, Robots: 3, Algorithm: "pef3+", Placement: "even",
+		Family: "compose:intersect", Params: pef.ScenarioParams{P: 0.8, T: 4},
+		Horizon: 1600, Seed: 11,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("expect=%s outcome=%s ok=%t\n", verdict.Expect, verdict.Outcome, verdict.OK)
+	// Output:
+	// intersect of bernoulli+t-interval edge schedules
+	// expect=explore outcome=explored ok=true
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"sort"
 
 	"pef/internal/metrics"
 )
@@ -28,6 +29,12 @@ type Aggregate struct {
 	Count     int
 	Seeds     []uint64
 
+	// start and end delimit the contiguous block of the canonical stream
+	// this aggregate is responsible for ([0, total) for whole campaigns,
+	// the shard block for sharded ones); checkpoints carry them so
+	// per-shard aggregates merge back in order.
+	start, end int
+
 	done       int
 	ok         int
 	familyIdx  map[string]int
@@ -45,11 +52,14 @@ func NewAggregate(cfg CampaignConfig) (*Aggregate, error) {
 	if err != nil {
 		return nil, err
 	}
+	start, _, end := rcfg.region()
 	a := &Aggregate{
 		Generator: rcfg.Generator,
 		Gen:       rcfg.Gen.withDefaults(),
 		Count:     rcfg.Count,
 		Seeds:     rcfg.Seeds,
+		start:     start,
+		end:       end,
 		familyIdx: map[string]int{},
 		sweep:     metrics.NewSweep(),
 	}
@@ -60,6 +70,13 @@ func NewAggregate(cfg CampaignConfig) (*Aggregate, error) {
 	}
 	return a, nil
 }
+
+// Start returns the offset of the aggregate's block in the canonical
+// stream (0 for whole campaigns).
+func (a *Aggregate) Start() int { return a.start }
+
+// End returns the exclusive end of the aggregate's block.
+func (a *Aggregate) End() int { return a.end }
 
 // Done returns the number of verdicts folded in (including a resumed
 // checkpoint's prefix).
@@ -125,7 +142,10 @@ func (a *Aggregate) Add(v Verdict) {
 // campaign stream reproduces the whole-stream aggregate exactly — counts
 // and distributions are commutative, and first-seen orders concatenate —
 // which is the property checkpoint/resume and multi-process sharding rely
-// on. The two aggregates must describe the same campaign configuration.
+// on. The two aggregates must describe the same campaign configuration;
+// Merge itself does not police block adjacency (callers feeding it an
+// out-of-order partition get an order-scrambled report) — MergeCheckpoints
+// is the checked, shard-aware entry point.
 func (a *Aggregate) Merge(b *Aggregate) error {
 	if a.Generator != b.Generator || a.Count != b.Count ||
 		!reflect.DeepEqual(a.Seeds, b.Seeds) || a.Gen != b.Gen {
@@ -152,6 +172,55 @@ func (a *Aggregate) Merge(b *Aggregate) error {
 	}
 	a.violations = append(a.violations, b.violations...)
 	return nil
+}
+
+// MergeCheckpoints folds completed per-shard campaign checkpoints into
+// the whole-campaign aggregate. The checkpoints may arrive in any order;
+// they must describe the same campaign, each must be complete over its
+// block (Done == End-Start), and together they must tile the canonical
+// stream exactly — [0, total) with no gap and no overlap. The merged
+// aggregate's reports are byte-identical to a single-process run of the
+// whole campaign.
+func MergeCheckpoints(ckpts ...*Checkpoint) (*Aggregate, error) {
+	if len(ckpts) == 0 {
+		return nil, fmt.Errorf("scenario: no checkpoints to merge")
+	}
+	sorted := append([]*Checkpoint(nil), ckpts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	total := sorted[0].Count * len(sorted[0].Seeds)
+	for i, c := range sorted {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		if c.Done != c.effEnd(c.Count*len(c.Seeds))-c.Start {
+			return nil, fmt.Errorf("scenario: shard [%d, %d) is incomplete (%d of %d scenarios done); finish or resume it before merging",
+				c.Start, c.effEnd(c.Count*len(c.Seeds)), c.Done, c.effEnd(c.Count*len(c.Seeds))-c.Start)
+		}
+		if i == 0 && c.Start != 0 {
+			return nil, fmt.Errorf("scenario: first shard starts at %d, not 0 — shard [0, %d) is missing", c.Start, c.Start)
+		}
+	}
+	a, err := NewAggregate(CampaignConfig{Resume: sorted[0]})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range sorted[1:] {
+		b, err := NewAggregate(CampaignConfig{Resume: c})
+		if err != nil {
+			return nil, err
+		}
+		if b.start != a.start+a.done {
+			return nil, fmt.Errorf("scenario: shard starting at %d does not continue the merged prefix [0, %d) (gap or overlap)", b.start, a.start+a.done)
+		}
+		if err := a.Merge(b); err != nil {
+			return nil, err
+		}
+		a.end = b.end
+	}
+	if a.done != total {
+		return nil, fmt.Errorf("scenario: merged shards cover %d of %d scenarios — a shard is missing", a.done, total)
+	}
+	return a, nil
 }
 
 // WriteReport renders the aggregate as the human-readable campaign

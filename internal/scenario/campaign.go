@@ -14,8 +14,12 @@ import (
 
 // CampaignConfig parameterizes a generated-scenario sweep: the generator,
 // its parameter-space bounds, how many scenarios each generator seed
-// contributes, and the worker pool they shard across.
+// contributes, the worker pool they shard across, and optionally which
+// contiguous shard of the canonical stream this process runs.
 type CampaignConfig struct {
+	// Registry resolves family/algorithm/property names; nil means the
+	// process default.
+	Registry *Registry
 	// Generator names the sampler (see Generators); empty means "uniform".
 	Generator string
 	// Gen bounds the sampled parameter space.
@@ -27,10 +31,17 @@ type CampaignConfig struct {
 	Seeds []uint64
 	// Workers bounds the worker pool; values < 1 mean GOMAXPROCS.
 	Workers int
+	// ShardIndex and ShardCount select one contiguous block of the
+	// canonical stream for multi-process campaigns: shard i of c runs
+	// scenarios [i·total/c, (i+1)·total/c). ShardCount 0 (or 1 with
+	// index 0) means the whole stream. Per-shard aggregates written as
+	// checkpoints merge back into the single-process report via
+	// MergeCheckpoints.
+	ShardIndex, ShardCount int
 	// Resume, when non-nil, continues a checkpointed campaign: the
-	// generator, bounds, count and seeds are adopted from the checkpoint
-	// (conflicting non-zero overrides are rejected), the checkpointed
-	// prefix of the canonical stream is skipped, and reports fold the
+	// generator, bounds, count, seeds and shard region are adopted from
+	// the checkpoint (conflicting non-zero overrides are rejected), the
+	// checkpointed prefix of the region is skipped, and reports fold the
 	// checkpoint's aggregate back in — byte-identical to the
 	// uninterrupted run.
 	Resume *Checkpoint
@@ -41,12 +52,33 @@ type CampaignConfig struct {
 	OnVerdict func(Verdict)
 }
 
-// resolved fills the config defaults and adopts a Resume checkpoint's
-// campaign identity, rejecting conflicting explicit overrides.
+// registry resolves the effective registry of the config.
+func (cfg CampaignConfig) registry() *Registry {
+	if cfg.Registry != nil {
+		return cfg.Registry
+	}
+	return DefaultRegistry()
+}
+
+// resolved fills the config defaults, validates the shard selection, and
+// adopts a Resume checkpoint's campaign identity, rejecting conflicting
+// explicit overrides.
 func (cfg CampaignConfig) resolved() (CampaignConfig, error) {
+	if cfg.ShardCount < 0 || cfg.ShardIndex < 0 {
+		return cfg, fmt.Errorf("scenario: negative shard selection %d/%d", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.ShardCount > 0 && cfg.ShardIndex >= cfg.ShardCount {
+		return cfg, fmt.Errorf("scenario: shard index %d outside shard count %d", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.ShardCount == 0 && cfg.ShardIndex > 0 {
+		return cfg, fmt.Errorf("scenario: shard index %d without a shard count", cfg.ShardIndex)
+	}
 	if r := cfg.Resume; r != nil {
 		if err := r.validate(); err != nil {
 			return cfg, err
+		}
+		if cfg.ShardCount > 0 {
+			return cfg, fmt.Errorf("scenario: resume adopts the checkpoint's shard region; drop the explicit shard selection")
 		}
 		if cfg.Generator != "" && cfg.Generator != r.Generator {
 			return cfg, fmt.Errorf("scenario: resume generator %q conflicts with checkpoint %q", cfg.Generator, r.Generator)
@@ -74,7 +106,28 @@ func (cfg CampaignConfig) resolved() (CampaignConfig, error) {
 	if len(cfg.Seeds) == 0 {
 		cfg.Seeds = []uint64{1}
 	}
+	if total := cfg.Count * len(cfg.Seeds); cfg.ShardCount > total {
+		// An empty shard would checkpoint a [0, 0) block, which is
+		// indistinguishable from a pre-shard whole-campaign checkpoint.
+		return cfg, fmt.Errorf("scenario: %d shards for %d scenarios (every shard must be non-empty)", cfg.ShardCount, total)
+	}
 	return cfg, nil
+}
+
+// region returns the [start, end) block of the canonical stream this
+// resolved config is responsible for, and the position to resume from
+// inside it (== start for fresh runs).
+func (cfg CampaignConfig) region() (start, from, end int) {
+	total := cfg.Count * len(cfg.Seeds)
+	if r := cfg.Resume; r != nil {
+		return r.Start, r.Start + r.Done, r.effEnd(total)
+	}
+	if cfg.ShardCount > 1 {
+		start = cfg.ShardIndex * total / cfg.ShardCount
+		end = (cfg.ShardIndex + 1) * total / cfg.ShardCount
+		return start, start, end
+	}
+	return 0, 0, total
 }
 
 func equalSeeds(a, b []uint64) bool {
@@ -94,6 +147,7 @@ func equalSeeds(a, b []uint64) bool {
 // Generate(generator, cfg, seed, count). Campaigns therefore never
 // materialize the full spec slice — the pool feeds one window at a time.
 type specStream struct {
+	reg    *Registry
 	gen    Generator
 	cfg    GenConfig
 	seeds  []uint64
@@ -103,8 +157,8 @@ type specStream struct {
 	src    *prng.Source
 }
 
-func newSpecStream(gen Generator, cfg GenConfig, seeds []uint64, count int) *specStream {
-	return &specStream{gen: gen, cfg: cfg, seeds: seeds, count: count}
+func newSpecStream(reg *Registry, gen Generator, cfg GenConfig, seeds []uint64, count int) *specStream {
+	return &specStream{reg: reg, gen: gen, cfg: cfg, seeds: seeds, count: count}
 }
 
 // next returns the following spec of the canonical sequence. Calling it
@@ -121,7 +175,7 @@ func (st *specStream) next() Spec {
 		st.inSeed = 0
 	}
 	st.inSeed++
-	return st.gen.Sample(st.cfg, st.src)
+	return st.gen.Sample(st.reg, st.cfg, st.src)
 }
 
 // campaignWindow returns the pool window — and hence the size of the spec
@@ -146,14 +200,15 @@ func campaignWindow(workers int) int {
 // bounds, checkpoint conflict) yields exactly one (zero Verdict, err)
 // pair and stops. After a context cancellation, scenarios that never ran
 // are still yielded — in order, with their identity-filled error verdict
-// and err set to ctx.Err() — so consumers always see exactly
-// Count × len(Seeds) pairs otherwise. Scenario-level failures are not
-// stream errors: they arrive as OK=false or Err-carrying verdicts with a
-// nil stream error, exactly like RunCampaign records them.
+// and err set to ctx.Err() — so consumers always see exactly one pair per
+// scenario of the selected region otherwise. Scenario-level failures are
+// not stream errors: they arrive as OK=false or Err-carrying verdicts
+// with a nil stream error, exactly like RunCampaign records them.
 //
 // When cfg.Resume is set the checkpointed prefix is skipped: the stream
 // yields only the remaining scenarios; fold them into the checkpoint's
 // Aggregate (see NewAggregate) to reproduce the full-campaign reports.
+// When a shard is selected, only that contiguous block streams.
 func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, error] {
 	return func(yield func(Verdict, error) bool) {
 		rcfg, err := cfg.resolved()
@@ -161,31 +216,28 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 			yield(Verdict{}, err)
 			return
 		}
+		reg := rcfg.registry()
 		gen, err := NewGenerator(rcfg.Generator)
 		if err != nil {
 			yield(Verdict{}, err)
 			return
 		}
 		gcfg := rcfg.Gen.withDefaults()
-		if err := gcfg.validate(); err != nil {
+		if err := gcfg.validate(reg); err != nil {
 			yield(Verdict{}, err)
 			return
 		}
-		total := rcfg.Count * len(rcfg.Seeds)
-		skip := 0
-		if rcfg.Resume != nil {
-			skip = rcfg.Resume.Done
-		}
-		stream := newSpecStream(gen, gcfg, rcfg.Seeds, rcfg.Count)
-		for i := 0; i < skip; i++ {
-			stream.next() // replay the sampler past the checkpointed prefix
+		_, from, end := rcfg.region()
+		stream := newSpecStream(reg, gen, gcfg, rcfg.Seeds, rcfg.Count)
+		for i := 0; i < from; i++ {
+			stream.next() // replay the sampler past the skipped prefix
 		}
 
 		window := campaignWindow(rcfg.Workers)
 		ring := make([]Spec, window)
 		fed := 0
 		for item := range harness.StreamPool(ctx, harness.PoolConfig[Verdict]{
-			Total:   total - skip,
+			Total:   end - from,
 			Workers: rcfg.Workers,
 			Window:  window,
 			// Feed materializes spec i into its ring slot right before
@@ -196,7 +248,13 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 				fed = i + 1
 			},
 			Run: func(i int) Verdict {
-				return Run(ring[i%window]) // Run recovers its own panics
+				s := ring[i%window]
+				v, rerr := RunWith(ctx, s, RunOptions{Registry: reg})
+				if rerr != nil && v.Err == "" {
+					v.Err = rerr.Error()
+					v.OK = false
+				}
+				return v
 			},
 			// Placeholder runs after the dispatcher has exited (the pool
 			// orders it after close(out)), so continuing the sampler for
@@ -233,12 +291,17 @@ type Campaign struct {
 	Gen       GenConfig
 	Count     int
 	Seeds     []uint64
+	// ShardIndex and ShardCount echo the shard selection (0/0 for whole
+	// campaigns).
+	ShardIndex, ShardCount int
 	// Verdicts holds one verdict per scenario this process ran, in
 	// canonical order. For resumed campaigns it covers only the portion
 	// after the checkpoint; reports and counters below always include
 	// the checkpointed prefix.
 	Verdicts []Verdict
 
+	// registry is the resolver the campaign ran under.
+	registry *Registry
 	// resumed is the checkpoint the campaign continued from, nil for
 	// fresh runs.
 	resumed *Checkpoint
@@ -263,11 +326,14 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
 		return nil, err
 	}
 	c := &Campaign{
-		Generator: rcfg.Generator,
-		Gen:       rcfg.Gen.withDefaults(),
-		Count:     rcfg.Count,
-		Seeds:     rcfg.Seeds,
-		resumed:   rcfg.Resume,
+		Generator:  rcfg.Generator,
+		Gen:        rcfg.Gen.withDefaults(),
+		Count:      rcfg.Count,
+		Seeds:      rcfg.Seeds,
+		ShardIndex: rcfg.ShardIndex,
+		ShardCount: rcfg.ShardCount,
+		registry:   rcfg.Registry,
+		resumed:    rcfg.Resume,
 	}
 	var ctxErr error
 	for v, err := range StreamCampaign(ctx, rcfg) {
@@ -293,11 +359,14 @@ func (c *Campaign) aggregate() *Aggregate {
 		return c.agg
 	}
 	a, err := NewAggregate(CampaignConfig{
-		Generator: c.Generator,
-		Gen:       c.Gen,
-		Count:     c.Count,
-		Seeds:     c.Seeds,
-		Resume:    c.resumed,
+		Registry:   c.registry,
+		Generator:  c.Generator,
+		Gen:        c.Gen,
+		Count:      c.Count,
+		Seeds:      c.Seeds,
+		ShardIndex: c.ShardIndex,
+		ShardCount: c.ShardCount,
+		Resume:     c.resumed,
 	})
 	if err != nil {
 		// The campaign was built from a validated configuration; a fold
@@ -335,7 +404,7 @@ type FamilyStats struct {
 	Runs int `json:"runs"`
 	OK   int `json:"ok"`
 	// ByExpect counts runs per enforced expectation, in canonical order
-	// (explore, confine, none).
+	// (explore, confine, none). Custom properties count under None.
 	Explore int `json:"explore,omitempty"`
 	Confine int `json:"confine,omitempty"`
 	None    int `json:"none,omitempty"`

@@ -24,8 +24,16 @@ type Checkpoint struct {
 	Gen       GenConfig `json:"gen"`
 	Count     int       `json:"count"`
 	Seeds     []uint64  `json:"seeds"`
-	// Done is the length of the aggregated canonical prefix: resuming
-	// skips exactly this many generated scenarios.
+	// Start and End delimit the contiguous block of the canonical stream
+	// this checkpoint's process is responsible for: [0, total) for whole
+	// campaigns (End 0 is normalized to total, keeping pre-shard
+	// checkpoints readable), the shard block for `-shard-index/-shard-
+	// count` runs. MergeCheckpoints tiles completed blocks back into the
+	// whole-campaign aggregate.
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
+	// Done is the number of aggregated scenarios of the block: resuming
+	// skips exactly Start+Done generated scenarios and finishes at End.
 	Done int `json:"done"`
 	// OK, Families, Scalars and Violations are the aggregate state.
 	OK         int                   `json:"ok"`
@@ -45,6 +53,8 @@ func (a *Aggregate) Checkpoint() *Checkpoint {
 		Gen:        a.Gen,
 		Count:      a.Count,
 		Seeds:      append([]uint64(nil), a.Seeds...),
+		Start:      a.start,
+		End:        a.end,
 		Done:       a.done,
 		OK:         a.ok,
 		Families:   append([]FamilyStats(nil), a.families...),
@@ -82,8 +92,12 @@ func (c *Checkpoint) validate() error {
 		return fmt.Errorf("scenario: checkpoint lacks campaign shape (count=%d, %d seeds)", c.Count, len(c.Seeds))
 	}
 	total := c.Count * len(c.Seeds)
-	if c.Done < 0 || c.Done > total {
-		return fmt.Errorf("scenario: checkpoint Done=%d outside campaign of %d scenarios", c.Done, total)
+	end := c.effEnd(total)
+	if c.Start < 0 || c.Start > end || end > total {
+		return fmt.Errorf("scenario: checkpoint block [%d, %d) outside campaign of %d scenarios", c.Start, end, total)
+	}
+	if c.Done < 0 || c.Start+c.Done > end {
+		return fmt.Errorf("scenario: checkpoint Done=%d outside its block [%d, %d)", c.Done, c.Start, end)
 	}
 	if c.OK < 0 || c.OK > c.Done {
 		return fmt.Errorf("scenario: checkpoint OK=%d exceeds Done=%d", c.OK, c.Done)
@@ -103,6 +117,15 @@ func (c *Checkpoint) validate() error {
 			len(c.Violations), c.Done, c.OK, c.Done-c.OK)
 	}
 	return nil
+}
+
+// effEnd resolves the block end: 0 (pre-shard checkpoints never encoded
+// one) means the whole campaign.
+func (c *Checkpoint) effEnd(total int) int {
+	if c.End == 0 {
+		return total
+	}
+	return c.End
 }
 
 // Encode renders the checkpoint as indented JSON.

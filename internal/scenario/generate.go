@@ -15,6 +15,11 @@ type GenConfig struct {
 	MaxRing int `json:"maxRing,omitempty"`
 	// MaxRobots bounds the sampled team sizes.
 	MaxRobots int `json:"maxRobots,omitempty"`
+	// Families optionally restricts the "registered" generator's family
+	// pool to a comma-separated list of registered explorable families
+	// (e.g. "periodic,compose:union"). The other generators draw from
+	// their frozen stock pools and ignore it.
+	Families string `json:"families,omitempty"`
 }
 
 // withDefaults fills unset (zero) fields without overriding explicit
@@ -32,10 +37,12 @@ func (c GenConfig) withDefaults() GenConfig {
 	return c
 }
 
-// validate checks a defaulted config: every sampler needs rings of at
-// least 4 nodes (three robots plus room to move, confine-two's n >= 4)
-// and room for the three-robot teams the possibility samplers draw.
-func (c GenConfig) validate() error {
+// validate checks a defaulted config against the registry: every sampler
+// needs rings of at least 4 nodes (three robots plus room to move,
+// confine-two's n >= 4), room for the three-robot teams the possibility
+// samplers draw, and any family filter must name registered explorable
+// families.
+func (c GenConfig) validate(r *Registry) error {
 	if c.MaxRing < 4 {
 		return fmt.Errorf("scenario: MaxRing %d below 4 (samplers need rings of at least 4 nodes)", c.MaxRing)
 	}
@@ -45,29 +52,35 @@ func (c GenConfig) validate() error {
 	if c.MaxRobots < 3 {
 		return fmt.Errorf("scenario: MaxRobots %d below 3 (PEF_3+ samplers need three-robot teams)", c.MaxRobots)
 	}
+	if c.Families != "" {
+		if _, err := r.explorableFamilies(c.Families); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Generator is a named, seeded sampler over the scenario space. Sampling
-// is a pure function of the source stream: the same seed always yields the
-// same spec sequence, for any count, so campaigns are replayable from
-// (generator, seed, count) alone.
+// is a pure function of the source stream and the registry contents: the
+// same (registry, seed) always yields the same spec sequence, for any
+// count, so campaigns are replayable from (generator, seed, count) alone.
 type Generator struct {
 	// Name identifies the generator ("uniform", "boundary", "markov",
-	// "adversarial").
+	// "adversarial", "registered").
 	Name string
 	// Description is a one-line summary for CLI listings.
 	Description string
-	// Sample draws the next spec from the stream.
-	Sample func(cfg GenConfig, src *prng.Source) Spec
+	// Sample draws the next spec from the stream, resolving names
+	// through the registry.
+	Sample func(r *Registry, cfg GenConfig, src *prng.Source) Spec
 }
 
-// Generators returns the registry of scenario samplers in canonical order.
+// Generators returns the scenario samplers in canonical order.
 func Generators() []Generator {
 	return []Generator{
 		{
 			Name:        "uniform",
-			Description: "uniform in-threshold sampling over every connected-over-time family",
+			Description: "uniform in-threshold sampling over every connected-over-time stock family",
 			Sample:      sampleUniform,
 		},
 		{
@@ -84,6 +97,11 @@ func Generators() []Generator {
 			Name:        "adversarial",
 			Description: "adaptive adversaries: budgeted pointed-edge stress and the confinement theorems",
 			Sample:      sampleAdversarial,
+		},
+		{
+			Name:        "registered",
+			Description: "every registered explorable family (built-in, periodic, compose:*, user-registered); -families restricts the pool",
+			Sample:      sampleRegistered,
 		},
 	}
 }
@@ -102,22 +120,29 @@ func NewGenerator(name string) (Generator, error) {
 	return Generator{}, fmt.Errorf("scenario: unknown generator %q (known: %v)", name, names)
 }
 
-// Generate draws count specs from the named generator under one seed.
-// Equal (name, cfg, seed, count) calls return identical spec slices, and a
-// longer stream extends a shorter one.
+// Generate draws count specs from the named generator under one seed,
+// resolving families and algorithms through the default registry. Equal
+// (name, cfg, seed, count) calls against an unchanged registry return
+// identical spec slices, and a longer stream extends a shorter one.
 func Generate(name string, cfg GenConfig, seed uint64, count int) ([]Spec, error) {
+	return DefaultRegistry().Generate(name, cfg, seed, count)
+}
+
+// Generate draws count specs from the named generator under one seed,
+// resolving names through this registry.
+func (r *Registry) Generate(name string, cfg GenConfig, seed uint64, count int) ([]Spec, error) {
 	g, err := NewGenerator(name)
 	if err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	if err := cfg.validate(r); err != nil {
 		return nil, err
 	}
 	src := prng.NewSource(seed)
 	specs := make([]Spec, count)
 	for i := range specs {
-		specs[i] = g.Sample(cfg, src)
+		specs[i] = g.Sample(r, cfg, src)
 	}
 	return specs, nil
 }
@@ -144,38 +169,20 @@ func pick(src *prng.Source, options ...string) string {
 	return options[src.Intn(len(options))]
 }
 
-// cotFamilies is the oblivious connected-over-time family pool the
-// explore-expectation samplers draw from.
-var cotFamilies = []string{
-	"static", "bernoulli", "bounded", "t-interval",
-	"roving", "chain", "eventual-missing", "markov",
-}
-
-// cotParams samples a parameter point for the named oblivious family on an
-// n-node ring with the given horizon. The ranges are chosen so every
-// sampled workload stays connected-over-time with margins the paper's
-// algorithms handle on a 200·n horizon (validated by the oracle tests).
-func cotParams(src *prng.Source, family string, n, horizon int) Params {
-	switch family {
-	case "bernoulli":
-		return Params{P: probIn(src, 0.3, 0.95)}
-	case "bounded":
-		return Params{P: probIn(src, 0.05, 0.5), Delta: intIn(src, 1, 8)}
-	case "t-interval":
-		return Params{T: intIn(src, 1, 8)}
-	case "roving":
-		return Params{Period: intIn(src, 1, 6)}
-	case "chain":
-		return Params{Cut: intIn(src, 0, n-1), P: probIn(src, 0.5, 0.9), Delta: intIn(src, 2, 6)}
-	case "eventual-missing":
-		return Params{
-			Edge: intIn(src, 0, n-1), From: intIn(src, 0, horizon/4),
-			P: probIn(src, 0.5, 0.9), Delta: intIn(src, 2, 6),
-		}
-	case "markov":
-		return Params{Up: probIn(src, 0.2, 0.8), Down: probIn(src, 0.05, 0.6)}
+// sampleFamily draws a parameter point and horizon for the named family
+// via its descriptor, replaying the historical draw order: the candidate
+// horizon is computed first (some families read it when sampling), then
+// the parameters, then the final horizon for the sampled point.
+func sampleFamily(r *Registry, src *prng.Source, family string, n int) (Params, int) {
+	d, ok := r.Family(family)
+	if !ok {
+		// Samplers only draw registered names; reaching this is a
+		// programming error in the sampler, not a user input.
+		panic(fmt.Sprintf("scenario: sampler drew unregistered family %q", family))
 	}
-	return Params{} // static
+	h0 := exploreHorizon(n, Params{})
+	p := d.sample(src, n, h0)
+	return p, d.horizonFor(n, p)
 }
 
 // exploreHorizon is the standard horizon for explore-expectation runs:
@@ -193,10 +200,21 @@ func exploreHorizon(n int, p Params) int {
 	return h
 }
 
+// expectationOf derives a sampled spec's expectation; samplers only emit
+// registered families, so derivation cannot fail.
+func expectationOf(r *Registry, s Spec) string {
+	exp, err := r.Expectation(s)
+	if err != nil {
+		panic(err)
+	}
+	return exp
+}
+
 // sampleUniform draws in-threshold scenarios uniformly: k >= 3 robots with
-// PEF_3+ on any ring that fits them, across the full oblivious family
-// space plus the budgeted pointed-edge adversary.
-func sampleUniform(cfg GenConfig, src *prng.Source) Spec {
+// PEF_3+ on any ring that fits them, across the frozen stock pool (the
+// oblivious connected-over-time families plus the budgeted pointed-edge
+// adversary).
+func sampleUniform(r *Registry, cfg GenConfig, src *prng.Source) Spec {
 	lo := cfg.MinRing
 	if lo < 4 {
 		lo = 4
@@ -207,17 +225,8 @@ func sampleUniform(cfg GenConfig, src *prng.Source) Spec {
 		kHi = n - 1
 	}
 	k := intIn(src, 3, kHi)
-	family := pick(src, append(append([]string{}, cotFamilies...), FamilyBlockPointed)...)
-	var p Params
-	var horizon int
-	if family == FamilyBlockPointed {
-		p = Params{Budget: intIn(src, 1, 4)}
-		horizon = exploreHorizon(n, p)
-	} else {
-		horizon = exploreHorizon(n, Params{})
-		p = cotParams(src, family, n, horizon)
-		horizon = exploreHorizon(n, p)
-	}
+	family := pick(src, r.stockFamilies()...)
+	p, horizon := sampleFamily(r, src, family, n)
 	s := Spec{
 		Version:   Version,
 		Ring:      n,
@@ -229,7 +238,7 @@ func sampleUniform(cfg GenConfig, src *prng.Source) Spec {
 		Horizon:   horizon,
 		Seed:      src.Uint64(),
 	}
-	s.Expect = Expectation(s)
+	s.Expect = expectationOf(r, s)
 	return s
 }
 
@@ -237,19 +246,17 @@ func sampleUniform(cfg GenConfig, src *prng.Source) Spec {
 // minimal rings of PEF_1 and PEF_2, minimal-margin PEF_3+ teams (n = k+1),
 // the confinement theorems, and under-threshold teams on oblivious
 // dynamics (where the paper makes no claim and the oracle only measures).
-func sampleBoundary(cfg GenConfig, src *prng.Source) Spec {
+func sampleBoundary(r *Registry, cfg GenConfig, src *prng.Source) Spec {
 	var s Spec
 	switch src.Intn(6) {
 	case 0: // PEF_1 on the 2-node ring
-		family := pick(src, cotFamilies...)
-		horizon := exploreHorizon(2, Params{})
-		p := cotParams(src, family, 2, horizon)
-		s = Spec{Ring: 2, Robots: 1, Algorithm: "pef1", Family: family, Params: p, Horizon: exploreHorizon(2, p)}
+		family := pick(src, r.stockGraphFamilies()...)
+		p, horizon := sampleFamily(r, src, family, 2)
+		s = Spec{Ring: 2, Robots: 1, Algorithm: "pef1", Family: family, Params: p, Horizon: horizon}
 	case 1: // PEF_2 on the 3-node ring
-		family := pick(src, cotFamilies...)
-		horizon := exploreHorizon(3, Params{})
-		p := cotParams(src, family, 3, horizon)
-		s = Spec{Ring: 3, Robots: 2, Algorithm: "pef2", Family: family, Params: p, Horizon: exploreHorizon(3, p)}
+		family := pick(src, r.stockGraphFamilies()...)
+		p, horizon := sampleFamily(r, src, family, 3)
+		s = Spec{Ring: 3, Robots: 2, Algorithm: "pef2", Family: family, Params: p, Horizon: horizon}
 	case 2: // minimal-margin PEF_3+: n = k+1
 		kHi := cfg.MaxRobots
 		if kHi > cfg.MaxRing-1 {
@@ -257,16 +264,15 @@ func sampleBoundary(cfg GenConfig, src *prng.Source) Spec {
 		}
 		k := intIn(src, 3, kHi)
 		n := k + 1
-		family := pick(src, cotFamilies...)
-		horizon := exploreHorizon(n, Params{})
-		p := cotParams(src, family, n, horizon)
-		s = Spec{Ring: n, Robots: k, Algorithm: "pef3+", Family: family, Params: p, Horizon: exploreHorizon(n, p)}
+		family := pick(src, r.stockGraphFamilies()...)
+		p, horizon := sampleFamily(r, src, family, n)
+		s = Spec{Ring: n, Robots: k, Algorithm: "pef3+", Family: family, Params: p, Horizon: horizon}
 	case 3: // Theorem 5.1 confinement of any single robot
 		n := intIn(src, 3, cfg.MaxRing)
-		s = Spec{Ring: n, Robots: 1, Algorithm: pickVictim(src), Family: FamilyConfineOne, Horizon: 64 * n}
+		s = Spec{Ring: n, Robots: 1, Algorithm: pickVictim(r, src), Family: FamilyConfineOne, Horizon: 64 * n}
 	case 4: // Theorem 4.1 confinement of any two robots
 		n := intIn(src, 4, cfg.MaxRing)
-		s = Spec{Ring: n, Robots: 2, Algorithm: pickVictim(src), Family: FamilyConfineTwo, Horizon: 64 * n}
+		s = Spec{Ring: n, Robots: 2, Algorithm: pickVictim(r, src), Family: FamilyConfineTwo, Horizon: 64 * n}
 	default: // under-threshold team on oblivious dynamics: no paper claim
 		k := intIn(src, 1, 2)
 		n := intIn(src, k+2, cfg.MaxRing)
@@ -274,27 +280,32 @@ func sampleBoundary(cfg GenConfig, src *prng.Source) Spec {
 			n = 4
 		}
 		horizon := exploreHorizon(n, Params{})
-		s = Spec{Ring: n, Robots: k, Algorithm: "pef3+", Family: "bernoulli", Params: cotParams(src, "bernoulli", n, horizon), Horizon: horizon}
+		d, _ := r.Family("bernoulli")
+		s = Spec{Ring: n, Robots: k, Algorithm: "pef3+", Family: "bernoulli", Params: d.sample(src, n, horizon), Horizon: horizon}
 	}
 	s.Version = Version
 	if s.Placement == "" {
 		s.Placement = pick(src, PlaceRandom, PlaceEven, PlaceAdjacent)
 	}
 	s.Seed = src.Uint64()
-	s.Expect = Expectation(s)
+	s.Expect = expectationOf(r, s)
 	return s
 }
 
-// pickVictim samples an algorithm for the universally-quantified
-// confinement theorems: any deterministic algorithm must stay confined.
-func pickVictim(src *prng.Source) string {
-	names := AlgorithmNames()
+// pickVictim samples a confinement victim from the frozen stock
+// algorithm pool. The theorems quantify over *all* deterministic
+// algorithms, but the sampler pool stays pinned to the bootstrap set so
+// recorded campaign streams replay bit for bit regardless of later
+// registrations; user algorithms face the adversaries through explicitly
+// constructed specs.
+func pickVictim(r *Registry, src *prng.Source) string {
+	names := r.stockAlgorithms()
 	return names[src.Intn(len(names))]
 }
 
 // sampleMarkov draws in-threshold scenarios whose dynamics is the bursty
 // two-state Markov link model, sweeping the (up, down) transition space.
-func sampleMarkov(cfg GenConfig, src *prng.Source) Spec {
+func sampleMarkov(r *Registry, cfg GenConfig, src *prng.Source) Spec {
 	lo := cfg.MinRing
 	if lo < 4 {
 		lo = 4
@@ -304,19 +315,22 @@ func sampleMarkov(cfg GenConfig, src *prng.Source) Spec {
 	if kHi > n-1 {
 		kHi = n - 1
 	}
+	k := intIn(src, 3, kHi)
+	placement := pick(src, PlaceRandom, PlaceEven, PlaceAdjacent)
+	d, _ := r.Family("markov")
 	horizon := exploreHorizon(n, Params{})
 	s := Spec{
 		Version:   Version,
 		Ring:      n,
-		Robots:    intIn(src, 3, kHi),
+		Robots:    k,
 		Algorithm: "pef3+",
-		Placement: pick(src, PlaceRandom, PlaceEven, PlaceAdjacent),
+		Placement: placement,
 		Family:    "markov",
-		Params:    cotParams(src, "markov", n, horizon),
+		Params:    d.sample(src, n, horizon),
 		Horizon:   horizon,
 		Seed:      src.Uint64(),
 	}
-	s.Expect = Expectation(s)
+	s.Expect = expectationOf(r, s)
 	return s
 }
 
@@ -324,7 +338,7 @@ func sampleMarkov(cfg GenConfig, src *prng.Source) Spec {
 // pointed-edge stress adversary against full teams (which must still
 // explore) and the confinement theorems against sampled victims (which
 // must stay confined).
-func sampleAdversarial(cfg GenConfig, src *prng.Source) Spec {
+func sampleAdversarial(r *Registry, cfg GenConfig, src *prng.Source) Spec {
 	var s Spec
 	switch src.Intn(3) {
 	case 0: // block-pointed stress: exploration must survive
@@ -337,21 +351,65 @@ func sampleAdversarial(cfg GenConfig, src *prng.Source) Spec {
 		if kHi > n-1 {
 			kHi = n - 1
 		}
+		k := intIn(src, 3, kHi)
+		placement := pick(src, PlaceRandom, PlaceEven, PlaceAdjacent)
+		d, _ := r.Family(FamilyBlockPointed)
+		horizon := exploreHorizon(n, Params{})
 		s = Spec{
-			Ring: n, Robots: intIn(src, 3, kHi), Algorithm: "pef3+",
-			Placement: pick(src, PlaceRandom, PlaceEven, PlaceAdjacent),
-			Family:    FamilyBlockPointed, Params: Params{Budget: intIn(src, 1, 4)},
-			Horizon: exploreHorizon(n, Params{}),
+			Ring: n, Robots: k, Algorithm: "pef3+",
+			Placement: placement,
+			Family:    FamilyBlockPointed, Params: d.sample(src, n, horizon),
+			Horizon: horizon,
 		}
 	case 1: // Theorem 5.1
 		n := intIn(src, 3, cfg.MaxRing)
-		s = Spec{Ring: n, Robots: 1, Algorithm: pickVictim(src), Placement: PlaceRandom, Family: FamilyConfineOne, Horizon: 64 * n}
+		s = Spec{Ring: n, Robots: 1, Algorithm: pickVictim(r, src), Placement: PlaceRandom, Family: FamilyConfineOne, Horizon: 64 * n}
 	default: // Theorem 4.1
 		n := intIn(src, 4, cfg.MaxRing)
-		s = Spec{Ring: n, Robots: 2, Algorithm: pickVictim(src), Placement: PlaceRandom, Family: FamilyConfineTwo, Horizon: 64 * n}
+		s = Spec{Ring: n, Robots: 2, Algorithm: pickVictim(r, src), Placement: PlaceRandom, Family: FamilyConfineTwo, Horizon: 64 * n}
 	}
 	s.Version = Version
 	s.Seed = src.Uint64()
-	s.Expect = Expectation(s)
+	s.Expect = expectationOf(r, s)
+	return s
+}
+
+// sampleRegistered draws in-threshold scenarios like sampleUniform but
+// over *every* registered explorable family — the stock pool, the
+// combinator families (periodic, compose:*) and anything registered by
+// the embedding program — optionally restricted by cfg.Families. It is
+// the generator that makes user-registered dynamics campaign-reachable
+// without touching the frozen historical pools.
+func sampleRegistered(r *Registry, cfg GenConfig, src *prng.Source) Spec {
+	pool, err := r.explorableFamilies(cfg.Families)
+	if err != nil {
+		// Generate/StreamCampaign validate the filter up front; reaching
+		// this is a programming error, not a user input.
+		panic(err)
+	}
+	lo := cfg.MinRing
+	if lo < 4 {
+		lo = 4
+	}
+	n := intIn(src, lo, cfg.MaxRing)
+	kHi := cfg.MaxRobots
+	if kHi > n-1 {
+		kHi = n - 1
+	}
+	k := intIn(src, 3, kHi)
+	family := pick(src, pool...)
+	p, horizon := sampleFamily(r, src, family, n)
+	s := Spec{
+		Version:   Version,
+		Ring:      n,
+		Robots:    k,
+		Algorithm: "pef3+",
+		Placement: pick(src, PlaceRandom, PlaceEven, PlaceAdjacent),
+		Family:    family,
+		Params:    p,
+		Horizon:   horizon,
+		Seed:      src.Uint64(),
+	}
+	s.Expect = expectationOf(r, s)
 	return s
 }

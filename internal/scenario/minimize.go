@@ -1,6 +1,9 @@
 package scenario
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Minimize deterministically shrinks a failing scenario to a smaller
 // reproducer: it greedily lowers the horizon, ring size, team size and
@@ -21,8 +24,17 @@ import "math"
 // Minimization re-runs the scenario for every accepted or probed
 // candidate, so its cost is a small multiple of running the original
 // spec; the horizon pass runs first to cut the per-probe cost early.
-func Minimize(s Spec) Spec {
-	v := Run(s)
+//
+// Minimize resolves names through the default registry; violations found
+// under a custom registry shrink via the Registry.Minimize method (the
+// default would misread their families as unknown and "shrink" the
+// config error instead of the behaviour).
+func Minimize(s Spec) Spec { return DefaultRegistry().Minimize(s) }
+
+// Minimize deterministically shrinks a failing scenario against this
+// registry; see the package-level Minimize for the algorithm.
+func (r *Registry) Minimize(s Spec) Spec {
+	v := runIn(r, s)
 	if v.OK && v.Err == "" {
 		return s
 	}
@@ -34,14 +46,14 @@ func Minimize(s Spec) Spec {
 	}
 	wantErr := v.Err != ""
 	fails := func(c Spec) bool {
-		cv := Run(c)
+		cv := runIn(r, c)
 		if cv.OK && cv.Err == "" {
 			return false
 		}
 		if (cv.Err != "") != wantErr {
 			return false
 		}
-		return wantErr || stillAttributable(c)
+		return wantErr || stillAttributable(r, c)
 	}
 	for pass := 0; pass < 8; pass++ {
 		next := shrinkOnce(s, fails)
@@ -61,7 +73,7 @@ func Minimize(s Spec) Spec {
 // paper's algorithm (a genuine counterexample candidate against the
 // reproduction), there is no independent control and the shrink is
 // accepted on the failure signature alone.
-func stillAttributable(c Spec) bool {
+func stillAttributable(r *Registry, c Spec) bool {
 	if c.Expect != ExpectExplore {
 		return true // confinement escapes and vacuous expectations shrink freely
 	}
@@ -74,8 +86,19 @@ func stillAttributable(c Spec) bool {
 	}
 	cc := c
 	cc.Algorithm = control
-	cv := Run(cc)
+	cv := runIn(r, cc)
 	return cv.OK && cv.Err == ""
+}
+
+// runIn is Run against an explicit registry: errors fold into the
+// verdict, like every campaign-facing entry point.
+func runIn(r *Registry, s Spec) Verdict {
+	v, err := RunWith(context.Background(), s, RunOptions{Registry: r})
+	if err != nil && v.Err == "" {
+		v.Err = err.Error()
+		v.OK = false
+	}
+	return v
 }
 
 // shrinkOnce runs every shrink pass once and returns the improved spec

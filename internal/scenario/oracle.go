@@ -5,10 +5,6 @@ import (
 	"fmt"
 	"sync"
 
-	"pef/internal/adversary"
-	"pef/internal/baseline"
-	"pef/internal/core"
-	"pef/internal/dynamics"
 	"pef/internal/fsync"
 	"pef/internal/prng"
 	"pef/internal/robot"
@@ -25,8 +21,8 @@ type Verdict struct {
 	ID string `json:"id"`
 	// Spec is the scenario that ran.
 	Spec Spec `json:"spec"`
-	// Expect is the enforced expectation (never empty: derived via
-	// Expectation when the spec leaves it open).
+	// Expect is the enforced expectation (never empty on a successful
+	// run: derived via the registry when the spec leaves it open).
 	Expect string `json:"expect"`
 	// Outcome summarizes the run: "explored", "partial", "confined",
 	// "escaped", or "error".
@@ -48,55 +44,18 @@ type Verdict struct {
 	Err string `json:"error,omitempty"`
 }
 
-// algorithmPool is the scenario subsystem's own name→algorithm table,
-// built once: the paper's algorithms, their ablations, and the baseline
-// suite. It deliberately bypasses the global registry (campaign workers
-// must not race on registration), and every entry is a stateless factory
-// (fresh cores come from NewCore), so sharing the values across workers
-// is safe.
-var algorithmPool = sync.OnceValues(func() ([]string, map[string]robot.Algorithm) {
-	algs := []robot.Algorithm{
-		core.PEF3Plus{}, core.PEF2{}, core.PEF1{},
-		core.NoRule2{}, core.NoRule3{},
-	}
-	algs = append(algs, baseline.Suite()...)
-	names := make([]string, len(algs))
-	byName := make(map[string]robot.Algorithm, len(algs))
-	for i, alg := range algs {
-		names[i] = alg.Name()
-		byName[alg.Name()] = alg
-	}
-	return names, byName
-})
-
-// resolveAlgorithm instantiates a robot algorithm by name.
-func resolveAlgorithm(name string) (robot.Algorithm, error) {
-	_, byName := algorithmPool()
-	if alg, ok := byName[name]; ok {
-		return alg, nil
-	}
-	return nil, fmt.Errorf("scenario: unknown algorithm %q", name)
-}
-
-// AlgorithmNames lists every algorithm name a Spec may reference, in
-// canonical order.
+// AlgorithmNames lists every algorithm name a Spec may reference in the
+// default registry, in canonical (registration) order.
 func AlgorithmNames() []string {
-	names, _ := algorithmPool()
-	return append([]string(nil), names...)
+	return DefaultRegistry().AlgorithmNames()
 }
 
-// placements realizes the spec's placement policy. The confinement
-// adversaries require their proof's initial configuration (robots on nodes
-// 0 and 1, mirrored chiralities), so they override the policy.
-func placements(s Spec) []fsync.Placement {
-	switch s.Family {
-	case FamilyConfineOne:
-		return []fsync.Placement{{Node: 0, Chirality: robot.RightIsCW}}
-	case FamilyConfineTwo:
-		return []fsync.Placement{
-			{Node: 0, Chirality: robot.RightIsCW},
-			{Node: 1, Chirality: robot.RightIsCCW},
-		}
+// placements realizes the spec's placement policy. Families that pin
+// their initial configuration (the confinement adversaries require their
+// proofs') override the policy via their descriptor.
+func placements(r *Registry, s Spec) []fsync.Placement {
+	if d, ok := r.Family(s.Family); ok && d.Placements != nil {
+		return d.Placements(s)
 	}
 	switch s.Placement {
 	case PlaceEven:
@@ -108,53 +67,10 @@ func placements(s Spec) []fsync.Placement {
 	}
 }
 
-// buildDynamics realizes the spec's dynamics family.
-func buildDynamics(s Spec) (fsync.Dynamics, error) {
-	switch s.Family {
-	case FamilyBlockPointed:
-		return adversary.NewBlockPointed(s.Ring, s.Params.Budget), nil
-	case FamilyConfineOne:
-		return adversary.NewOneRobotConfinement(s.Ring, 0, 0), nil
-	case FamilyConfineTwo:
-		return adversary.NewTwoRobotConfinement(s.Ring, 0, 0, 1), nil
-	}
-	fp := dynamics.FamilyParams{
-		P: s.Params.P, Up: s.Params.Up, Down: s.Params.Down,
-		Delta: s.Params.Delta, Edge: s.Params.Edge, From: s.Params.From,
-		Period: s.Params.Period, T: s.Params.T, Cut: s.Params.Cut,
-		// Materialized families (markov) record exactly the horizon the
-		// run needs.
-		Horizon: s.Horizon,
-	}
-	wl, err := dynamics.Family(s.Family, fp)
-	if err != nil {
-		return nil, err
-	}
-	if s.Family == "markov" {
-		// The materialized Family build retains O(horizon) edge sets; the
-		// streaming chain is bit-identical and holds only a bounded window,
-		// which is what lets campaigns scale to very long horizons.
-		g, err := dynamics.NewMarkovStream(s.Ring, s.Params.Up, s.Params.Down, s.Seed, markovWindow)
-		if err != nil {
-			return nil, err
-		}
-		return fsync.Oblivious{G: g}, nil
-	}
-	return fsync.Oblivious{G: wl.Build(s.Ring, s.Seed)}, nil
-}
-
 // markovWindow is the sliding-window size of streaming markov runs; the
 // simulator reads only the current instant, so a handful of retained
 // snapshots is plenty.
 const markovWindow = 8
-
-// confineLimit returns the confinement bound a theorem adversary enforces.
-func confineLimit(family string) int {
-	if family == FamilyConfineOne {
-		return 2 // Theorem 5.1: one robot visits at most two nodes
-	}
-	return 3 // Theorem 4.1: two robots visit at most three nodes
-}
 
 // evaluator bundles the per-spec checkers a campaign worker reuses from
 // spec to spec; together with the fsync simulator pool it makes the
@@ -169,11 +85,15 @@ var evalPool = sync.Pool{New: func() any {
 }}
 
 // RunOptions customizes one oracle run beyond what the declarative Spec
-// pins down. The zero value runs the spec exactly as written; overrides
-// let the facade route imperative configurations (arbitrary Algorithm and
-// Dynamics values, explicit placements, extra observers) through the same
+// pins down. The zero value runs the spec exactly as written against the
+// default registry; overrides let the facade route imperative
+// configurations (arbitrary Algorithm and Dynamics values, explicit
+// placements, extra observers, alternative registries) through the same
 // unified execution and verdict path.
 type RunOptions struct {
+	// Registry, when non-nil, resolves algorithm, family and property
+	// names instead of the process default.
+	Registry *Registry
 	// Algorithm, when non-nil, overrides the Spec.Algorithm registry
 	// lookup — the spec's name then only labels the verdict.
 	Algorithm robot.Algorithm
@@ -182,7 +102,7 @@ type RunOptions struct {
 	// verdict.
 	Dynamics fsync.Dynamics
 	// Placements, when non-empty, overrides the spec's placement policy
-	// (but never the confinement adversaries' proof configuration).
+	// (but never a family's pinned proof configuration).
 	Placements []fsync.Placement
 	// Observers are attached to the simulator in addition to the oracle's
 	// own trackers — trace sinks, diagnostics, custom metrics.
@@ -193,6 +113,14 @@ type RunOptions struct {
 	CheckEvery int
 }
 
+// registry resolves the effective registry of the options.
+func (o RunOptions) registry() *Registry {
+	if o.Registry != nil {
+		return o.Registry
+	}
+	return DefaultRegistry()
+}
+
 // validateForRun checks the spec like Spec.Validate, relaxed by the
 // overrides: an injected Algorithm skips the registry lookup, an injected
 // Dynamics skips the family checks (the engine still validates ring/team
@@ -200,6 +128,7 @@ type RunOptions struct {
 // would report Covered=0 without ever executing, the silent-failure mode
 // the unified entry point exists to close.
 func validateForRun(s Spec, o RunOptions) error {
+	reg := o.registry()
 	if s.Ring < 2 {
 		return fmt.Errorf("scenario: ring size %d below 2", s.Ring)
 	}
@@ -210,7 +139,7 @@ func validateForRun(s Spec, o RunOptions) error {
 		return fmt.Errorf("scenario: non-positive horizon %d (a run must execute at least one round)", s.Horizon)
 	}
 	if o.Algorithm == nil {
-		if _, err := resolveAlgorithm(s.Algorithm); err != nil {
+		if _, err := reg.Algorithm(s.Algorithm); err != nil {
 			return err
 		}
 	}
@@ -228,35 +157,26 @@ func validateForRun(s Spec, o RunOptions) error {
 			return fmt.Errorf("scenario: dynamics ring size %d disagrees with spec ring %d", n, s.Ring)
 		}
 	} else {
-		if !knownFamily(s.Family) {
-			return fmt.Errorf("scenario: unknown family %q", s.Family)
+		d, err := reg.familyOrErr(s.Family)
+		if err != nil {
+			return err
 		}
-		switch s.Family {
-		case FamilyConfineOne:
-			if s.Robots != 1 || s.Ring < 3 {
-				return fmt.Errorf("scenario: %s needs k=1 and n>=3, got k=%d n=%d", s.Family, s.Robots, s.Ring)
-			}
-		case FamilyConfineTwo:
-			if s.Robots != 2 || s.Ring < 4 {
-				return fmt.Errorf("scenario: %s needs k=2 and n>=4, got k=%d n=%d", s.Family, s.Robots, s.Ring)
-			}
-		case FamilyBlockPointed:
-			if s.Params.Budget < 1 {
-				return fmt.Errorf("scenario: %s needs Budget >= 1, got %d", s.Family, s.Params.Budget)
-			}
+		if err := d.validateSpec(s.Family, s); err != nil {
+			return err
 		}
 	}
-	switch s.Expect {
-	case "", ExpectExplore, ExpectConfine, ExpectNone:
-	default:
-		return fmt.Errorf("scenario: unknown expectation %q", s.Expect)
+	if s.Expect != "" {
+		if _, ok := reg.Property(s.Expect); !ok {
+			return fmt.Errorf("scenario: unknown expectation %q (registered properties: %v)", s.Expect, reg.PropertyNames())
+		}
 	}
 	return nil
 }
 
-// Run executes the spec and checks the paper's predicate. It never
-// panics: invalid specs and diverging runs come back as error verdicts,
-// so one bad sample cannot take down a million-scenario campaign.
+// Run executes the spec against the default registry and checks its
+// property. It never panics: invalid specs and diverging runs come back
+// as error verdicts, so one bad sample cannot take down a
+// million-scenario campaign.
 func Run(s Spec) Verdict {
 	v, err := RunWith(context.Background(), s, RunOptions{})
 	if err != nil && v.Err == "" {
@@ -268,9 +188,9 @@ func Run(s Spec) Verdict {
 
 // RunWith is the unified oracle entry point behind the public pef.Run: it
 // executes the spec under ctx with the given overrides and checks the
-// paper's predicate for it.
+// registered property for it.
 //
-// Configuration problems (invalid spec, unknown names, inconsistent
+// Configuration problems (invalid spec, unregistered names, inconsistent
 // overrides) return a non-nil error alongside an error verdict. When ctx
 // is cancelled mid-run the partial verdict — metrics over the rounds that
 // did execute, Outcome "cancelled" — is returned together with ctx's
@@ -278,10 +198,8 @@ func Run(s Spec) Verdict {
 // already measured. Predicate violations are not errors: they come back
 // as OK=false verdicts.
 func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
+	reg := o.registry()
 	v = Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, CoverTime: -1, Outcome: "error"}
-	if v.Expect == "" {
-		v.Expect = Expectation(s)
-	}
 	defer func() {
 		if r := recover(); r != nil {
 			v.Err = fmt.Sprintf("panic: %v", r)
@@ -289,27 +207,54 @@ func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 			v.OK = false
 		}
 	}()
+	if v.Expect == "" {
+		// Deriving the expectation requires a registered family — an
+		// unregistered name is a loud error here, never a silent
+		// fall-through to report-only. The one exception is an injected
+		// Dynamics: its family is documented as a verdict label only, so
+		// an unregistered label falls back to the family-independent
+		// algorithm-threshold rule.
+		exp, eerr := reg.Expectation(s)
+		if eerr != nil {
+			if o.Dynamics == nil {
+				v.Err = eerr.Error()
+				return v, eerr
+			}
+			exp = algorithmExpectation(s)
+		}
+		v.Expect = exp
+	}
 	if verr := validateForRun(s, o); verr != nil {
 		v.Err = verr.Error()
 		return v, verr
 	}
+	prop, ok := reg.Property(v.Expect)
+	if !ok {
+		perr := fmt.Errorf("scenario: unknown expectation %q (registered properties: %v)", v.Expect, reg.PropertyNames())
+		v.Err = perr.Error()
+		return v, perr
+	}
+	// validateForRun established the family is registered except under a
+	// Dynamics override, where an absent (label-only) family leaves the
+	// zero descriptor: no pinned placements, no confinement limit.
+	fam, _ := reg.Family(s.Family)
 	alg := o.Algorithm
 	if alg == nil {
-		if alg, err = resolveAlgorithm(s.Algorithm); err != nil {
+		if alg, err = reg.Algorithm(s.Algorithm); err != nil {
 			v.Err = err.Error()
 			return v, err
 		}
 	}
 	dyn := o.Dynamics
 	if dyn == nil {
-		if dyn, err = buildDynamics(s); err != nil {
+		if dyn, err = fam.build(s); err != nil {
 			v.Err = err.Error()
 			return v, err
 		}
 	}
 	place := o.Placements
-	if len(place) == 0 || s.Family == FamilyConfineOne || s.Family == FamilyConfineTwo {
-		place = placements(s)
+	if len(place) == 0 || fam.Placements != nil {
+		place = placements(reg, s)
 	}
 	ev := evalPool.Get().(*evaluator)
 	defer evalPool.Put(ev)
@@ -366,26 +311,19 @@ func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 		v.Outcome = "explored"
 	}
 
-	switch v.Expect {
-	case ExpectExplore:
-		if exploreMsg != "" {
-			v.Violation = exploreMsg
-			v.OK = false
-			return v, nil
-		}
-		v.OK = true
-	case ExpectConfine:
-		limit := confineLimit(s.Family)
-		if v.Distinct <= limit {
-			v.Outcome = "confined"
-			v.OK = true
-		} else {
-			v.Outcome = "escaped"
-			v.Violation = fmt.Sprintf("visited %d distinct nodes, theorem bound is %d", v.Distinct, limit)
-			v.OK = false
-		}
-	default: // ExpectNone: informational
-		v.OK = true
+	res := prop.Check(PropertyInput{
+		Spec:             s,
+		Covered:          v.Covered,
+		CoverTime:        v.CoverTime,
+		MaxGap:           v.MaxGap,
+		Distinct:         v.Distinct,
+		ExploreViolation: exploreMsg,
+		ConfineLimit:     fam.ConfineLimit,
+	})
+	v.OK = res.OK
+	if res.Outcome != "" {
+		v.Outcome = res.Outcome
 	}
+	v.Violation = res.Violation
 	return v, nil
 }

@@ -1,0 +1,712 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"pef/internal/dynamics"
+	"pef/internal/dyngraph"
+	"pef/internal/fsync"
+	"pef/internal/prng"
+	"pef/internal/robot"
+)
+
+// This file is the extension surface of the scenario subsystem: a Registry
+// maps names — the strings a declarative Spec carries — to algorithm,
+// dynamics-family and oracle-property descriptors. Every layer that used
+// to switch on hard-coded names (spec validation, the generators, the
+// oracle, the minimizer, the CLI listings) resolves through a Registry
+// instead, so user-supplied algorithms, dynamics families and properties
+// enter campaigns exactly like the built-ins.
+
+// AlgorithmDescriptor registers a robot algorithm under a Spec-referable
+// name.
+type AlgorithmDescriptor struct {
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// Stock marks the algorithm as part of the frozen victim pool the
+	// historical boundary/adversarial samplers draw confinement victims
+	// from. Like FamilyDescriptor.Stock it is set only by the registry
+	// bootstrap, so recorded campaign streams replay bit for bit no
+	// matter what else gets registered; user algorithms face the
+	// adversaries through explicitly constructed specs instead.
+	Stock bool
+	// New returns the algorithm value. It is called once per oracle run;
+	// returning a shared stateless value (fresh cores come from NewCore)
+	// is the cheapest correct implementation.
+	New func() robot.Algorithm
+}
+
+// ParamKind says how a declared parameter is interpreted.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// ParamInt is an integer parameter (Delta, Edge, From, Period, T,
+	// Cut, Budget).
+	ParamInt ParamKind = iota
+	// ParamFloat is a float parameter (P, Up, Down).
+	ParamFloat
+)
+
+// ParamField declares one Params field a family reads, with its valid
+// range. Spec validation checks every declared field generically, so
+// family authors state constraints once instead of hand-writing checks.
+type ParamField struct {
+	// Name is the canonical Params key: one of "p", "up", "down",
+	// "delta", "edge", "from", "period", "t", "cut", "budget".
+	Name string
+	// Kind is the parameter's type.
+	Kind ParamKind
+	// Min and Max bound the value inclusively (ints are compared as
+	// floats; use math.Inf(1) for "no upper bound").
+	Min, Max float64
+	// Required rejects the zero value: unset required parameters fail
+	// validation loudly instead of building a degenerate dynamics.
+	// Optional parameters are only range-checked when non-zero.
+	Required bool
+	// Doc is a one-line summary for CLI listings.
+	Doc string
+}
+
+// paramValue extracts the declared field from the flat bag.
+func paramValue(p Params, name string) (float64, bool) {
+	switch name {
+	case "p":
+		return p.P, true
+	case "up":
+		return p.Up, true
+	case "down":
+		return p.Down, true
+	case "delta":
+		return float64(p.Delta), true
+	case "edge":
+		return float64(p.Edge), true
+	case "from":
+		return float64(p.From), true
+	case "period":
+		return float64(p.Period), true
+	case "t":
+		return float64(p.T), true
+	case "cut":
+		return float64(p.Cut), true
+	case "budget":
+		return float64(p.Budget), true
+	}
+	return 0, false
+}
+
+// FamilyDescriptor registers a dynamics family: everything the scenario
+// layers need to validate, sample, build and judge specs of the family.
+// Exactly one of Graph (oblivious families, composable) or Build
+// (adaptive adversaries, arbitrary Dynamics) must be set; every other
+// field is optional.
+type FamilyDescriptor struct {
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// Params declares the Params fields the family reads, with ranges;
+	// validation checks them generically.
+	Params []ParamField
+	// Expect, when non-empty, is the property the oracle enforces for
+	// specs of this family that leave Expect open (the confinement
+	// adversaries pin ExpectConfine). Empty means "derive": the paper's
+	// algorithm at an in-threshold (ring, team) must explore, anything
+	// else is report-only.
+	Expect string
+	// ConfineLimit is the distinct-node bound the confine property
+	// enforces (0 means the generic two-robot bound of 3).
+	ConfineLimit int
+	// Stock marks the family as part of the frozen pool the historical
+	// uniform/boundary/markov/adversarial samplers draw from. The pool
+	// is pinned so recorded campaign streams replay bit for bit; newly
+	// registered families are covered by the "registered" generator
+	// instead, never by mutating the stock pool.
+	Stock bool
+	// Explorable marks the family as connected-over-time under its
+	// declared parameter ranges: the "registered" generator samples it
+	// with an explore expectation.
+	Explorable bool
+	// Validate, when non-nil, adds family-specific structural checks
+	// beyond the generic parameter ranges (team-size constraints, ...).
+	Validate func(Spec) error
+	// Graph builds the oblivious evolving graph for a spec. Families
+	// registered with Graph compose (see ComposeFamilies).
+	Graph func(Spec) (dyngraph.EvolvingGraph, error)
+	// Build builds the full dynamics for a spec; required for adaptive
+	// adversaries, optional override otherwise (it wins over Graph).
+	Build func(Spec) (fsync.Dynamics, error)
+	// Placements, when non-nil, pins the initial configuration (the
+	// confinement proofs require theirs), overriding the spec's
+	// placement policy.
+	Placements func(Spec) []fsync.Placement
+	// Sample draws a parameter point for an n-node ring and candidate
+	// horizon; nil means "no parameters". Used by the generators.
+	Sample func(src *prng.Source, n, horizon int) Params
+	// Horizon picks the run horizon for a sampled parameter point; nil
+	// means the standard explore horizon (200·n, floored for small
+	// rings and loose recurrence bounds).
+	Horizon func(n int, p Params) int
+}
+
+// sample draws a parameter point, defaulting to "no parameters".
+func (d FamilyDescriptor) sample(src *prng.Source, n, horizon int) Params {
+	if d.Sample == nil {
+		return Params{}
+	}
+	return d.Sample(src, n, horizon)
+}
+
+// horizonFor picks the run horizon, defaulting to the standard policy.
+func (d FamilyDescriptor) horizonFor(n int, p Params) int {
+	if d.Horizon == nil {
+		return exploreHorizon(n, p)
+	}
+	return d.Horizon(n, p)
+}
+
+// validateSpec runs the generic parameter-range checks and the family's
+// own Validate hook.
+func (d FamilyDescriptor) validateSpec(name string, s Spec) error {
+	for _, f := range d.Params {
+		v, ok := paramValue(s.Params, f.Name)
+		if !ok {
+			return fmt.Errorf("scenario: family %s declares unknown parameter %q", name, f.Name)
+		}
+		if v == 0 {
+			if f.Required {
+				return fmt.Errorf("scenario: %s needs parameter %s set (range [%v, %v])", name, f.Name, f.Min, f.Max)
+			}
+			continue
+		}
+		if v < f.Min || v > f.Max {
+			return fmt.Errorf("scenario: %s parameter %s=%v outside [%v, %v]", name, f.Name, trimParam(v), f.Min, f.Max)
+		}
+	}
+	if d.Validate != nil {
+		return d.Validate(s)
+	}
+	return nil
+}
+
+// trimParam renders a parameter value compactly in error messages.
+func trimParam(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return trimFloat(v)
+}
+
+// build realizes the family's dynamics for a spec.
+func (d FamilyDescriptor) build(s Spec) (fsync.Dynamics, error) {
+	if d.Build != nil {
+		return d.Build(s)
+	}
+	g, err := d.Graph(s)
+	if err != nil {
+		return nil, err
+	}
+	return fsync.Oblivious{G: g}, nil
+}
+
+// PropertyInput is everything a property predicate may judge: the spec
+// that ran and the oracle's scalar measurements of the execution.
+type PropertyInput struct {
+	// Spec is the scenario that ran.
+	Spec Spec
+	// Covered, CoverTime and MaxGap are the exploration metrics
+	// (CoverTime is -1 when the ring was never fully covered).
+	Covered, CoverTime, MaxGap int
+	// Distinct is the number of distinct nodes ever visited.
+	Distinct int
+	// ExploreViolation is empty when the run satisfies the paper's
+	// perpetual-exploration predicate, else the violation message.
+	ExploreViolation string
+	// ConfineLimit is the family's confinement bound (0 when the family
+	// declares none).
+	ConfineLimit int
+}
+
+// PropertyResult is a property's judgment of one run.
+type PropertyResult struct {
+	// OK reports that the property holds.
+	OK bool
+	// Outcome, when non-empty, overrides the verdict's outcome label
+	// (the confinement property reports "confined"/"escaped").
+	Outcome string
+	// Violation explains a failed property.
+	Violation string
+}
+
+// Property is a named oracle predicate: the Spec.Expect field selects
+// which registered property a run is judged by.
+type Property struct {
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// Check judges one run.
+	Check func(PropertyInput) PropertyResult
+}
+
+// Registry maps names to algorithm, family and property descriptors. It
+// preserves registration order — the canonical enumeration order of every
+// listing and sampler pool — and is safe for concurrent use: campaign
+// workers read it under a shared lock while registration (typically at
+// process start) takes the exclusive one.
+//
+// NewRegistry returns a registry preloaded with the built-ins, so custom
+// registries extend the paper's world rather than rebuild it; the
+// process-wide DefaultRegistry is what Spec.Validate, Run and campaigns
+// use unless a RunOptions.Registry / CampaignConfig.Registry overrides it.
+type Registry struct {
+	mu        sync.RWMutex
+	algNames  []string
+	algs      map[string]AlgorithmDescriptor
+	famNames  []string
+	fams      map[string]FamilyDescriptor
+	propNames []string
+	props     map[string]Property
+
+	// Sampler pools, maintained copy-on-write at registration time so the
+	// per-sample hot path reads an immutable slice under RLock instead of
+	// rebuilding it per draw. stockAlgs/stockFams/stockGraphFams are the
+	// frozen historical pools; explorable is the live "registered"
+	// generator pool, with filtered sub-pools memoized per filter string.
+	stockAlgs      []string
+	stockFams      []string
+	stockGraphFams []string
+	explorable     []string
+	explorableMemo map[string][]string
+}
+
+// NewRegistry returns a fresh registry preloaded with the built-in
+// algorithms, families and properties.
+func NewRegistry() *Registry {
+	r := &Registry{
+		algs:           map[string]AlgorithmDescriptor{},
+		fams:           map[string]FamilyDescriptor{},
+		props:          map[string]Property{},
+		explorableMemo: map[string][]string{},
+	}
+	registerBuiltins(r)
+	return r
+}
+
+// appendPool publishes pool + name as a fresh slice (copy-on-write), so
+// readers holding the previous header never observe writes.
+func appendPool(pool []string, name string) []string {
+	next := make([]string, len(pool)+1)
+	copy(next, pool)
+	next[len(pool)] = name
+	return next
+}
+
+var defaultRegistry = sync.OnceValue(NewRegistry)
+
+// DefaultRegistry returns the process-wide registry. Built-ins are
+// installed on first use; RegisterAlgorithm/RegisterFamily/
+// RegisterProperty (and the pef facade's wrappers) extend it.
+func DefaultRegistry() *Registry { return defaultRegistry() }
+
+// validName rejects names that would corrupt canonical spec IDs (which
+// join fields with "/" and render params inside "{...}"). Algorithm
+// names may contain "/" — the historical ablation names ("pef3+/no-rule2")
+// do — because the ID renders the family and params after them, keeping
+// IDs parseable from the right.
+func validName(kind, name string) error {
+	if name == "" {
+		return fmt.Errorf("scenario: empty %s name", kind)
+	}
+	reserved := "/{} \t\n"
+	if kind == "algorithm" {
+		reserved = "{} \t\n"
+	}
+	if strings.ContainsAny(name, reserved) {
+		return fmt.Errorf("scenario: %s name %q contains reserved characters (%q and whitespace)", kind, name, strings.TrimRight(reserved, " \t\n"))
+	}
+	return nil
+}
+
+// RegisterAlgorithm installs an algorithm descriptor under name.
+// Registration fails on an empty or reserved name, a nil constructor, or
+// a name collision (silently replacing an algorithm would corrupt
+// campaign provenance).
+func (r *Registry) RegisterAlgorithm(name string, d AlgorithmDescriptor) error {
+	if err := validName("algorithm", name); err != nil {
+		return err
+	}
+	if d.New == nil {
+		return fmt.Errorf("scenario: algorithm %q registered with nil constructor", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.algs[name]; dup {
+		return fmt.Errorf("scenario: duplicate algorithm registration %q", name)
+	}
+	r.algs[name] = d
+	r.algNames = append(r.algNames, name)
+	if d.Stock {
+		r.stockAlgs = appendPool(r.stockAlgs, name)
+	}
+	return nil
+}
+
+// RegisterFamily installs a family descriptor under name. Registration
+// fails on an empty or reserved name, a descriptor with neither Graph nor
+// Build, or a name collision.
+func (r *Registry) RegisterFamily(name string, d FamilyDescriptor) error {
+	if err := validName("family", name); err != nil {
+		return err
+	}
+	if d.Graph == nil && d.Build == nil {
+		return fmt.Errorf("scenario: family %q registered with neither Graph nor Build constructor", name)
+	}
+	for _, f := range d.Params {
+		if _, ok := paramValue(Params{}, f.Name); !ok {
+			return fmt.Errorf("scenario: family %q declares unknown parameter %q", name, f.Name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		return fmt.Errorf("scenario: duplicate family registration %q", name)
+	}
+	r.fams[name] = d
+	r.famNames = append(r.famNames, name)
+	if d.Stock {
+		r.stockFams = appendPool(r.stockFams, name)
+		if d.Graph != nil {
+			r.stockGraphFams = appendPool(r.stockGraphFams, name)
+		}
+	}
+	if d.Explorable {
+		r.explorable = appendPool(r.explorable, name)
+		r.explorableMemo = map[string][]string{} // filters may now resolve differently
+	}
+	return nil
+}
+
+// RegisterProperty installs an oracle property under name; Spec.Expect
+// values select it. Registration fails on an empty or reserved name, a
+// nil predicate, or a name collision.
+func (r *Registry) RegisterProperty(name string, p Property) error {
+	if err := validName("property", name); err != nil {
+		return err
+	}
+	if p.Check == nil {
+		return fmt.Errorf("scenario: property %q registered with nil predicate", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.props[name]; dup {
+		return fmt.Errorf("scenario: duplicate property registration %q", name)
+	}
+	r.props[name] = p
+	r.propNames = append(r.propNames, name)
+	return nil
+}
+
+// Algorithm instantiates a registered algorithm by name.
+func (r *Registry) Algorithm(name string) (robot.Algorithm, error) {
+	r.mu.RLock()
+	d, ok := r.algs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown algorithm %q (registered: %v)", name, r.AlgorithmNames())
+	}
+	return d.New(), nil
+}
+
+// AlgorithmNames lists the registered algorithm names in registration
+// (canonical) order.
+func (r *Registry) AlgorithmNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.algNames...)
+}
+
+// AlgorithmDescriptor returns the named descriptor.
+func (r *Registry) AlgorithmDescriptor(name string) (AlgorithmDescriptor, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.algs[name]
+	return d, ok
+}
+
+// Family returns the named family descriptor.
+func (r *Registry) Family(name string) (FamilyDescriptor, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.fams[name]
+	return d, ok
+}
+
+// FamilyNames lists the registered family names in registration
+// (canonical) order.
+func (r *Registry) FamilyNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.famNames...)
+}
+
+// familyOrErr resolves a family name with the loud-failure error message
+// shared by validation and the oracle.
+func (r *Registry) familyOrErr(name string) (FamilyDescriptor, error) {
+	d, ok := r.Family(name)
+	if !ok {
+		return FamilyDescriptor{}, fmt.Errorf("scenario: unknown family %q (registered: %v)", name, r.FamilyNames())
+	}
+	return d, nil
+}
+
+// Property returns the named property.
+func (r *Registry) Property(name string) (Property, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.props[name]
+	return p, ok
+}
+
+// PropertyNames lists the registered property names in registration
+// (canonical) order.
+func (r *Registry) PropertyNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.propNames...)
+}
+
+// stockAlgorithms returns the frozen victim pool (Stock algorithms, in
+// registration order) the boundary/adversarial samplers draw confinement
+// victims from. The returned slice is shared and must not be mutated.
+func (r *Registry) stockAlgorithms() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stockAlgs
+}
+
+// stockFamilies returns the frozen sampler pool (Stock families, in
+// registration order): the eight connected-over-time built-ins plus the
+// budgeted pointed-edge adversary. Shared slice; do not mutate.
+func (r *Registry) stockFamilies() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stockFams
+}
+
+// stockGraphFamilies returns the oblivious (composable) subset of the
+// stock pool: the connected-over-time families the boundary and markov
+// samplers draw. Shared slice; do not mutate.
+func (r *Registry) stockGraphFamilies() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stockGraphFams
+}
+
+// explorableFamilies returns every registered family the "registered"
+// generator may sample with an explore expectation, in registration
+// order, optionally restricted to the comma-separated filter. Resolved
+// filters are memoized, so the per-sample cost is one map lookup. The
+// returned slice is shared and must not be mutated.
+func (r *Registry) explorableFamilies(filter string) ([]string, error) {
+	r.mu.RLock()
+	names := r.explorable
+	if filter == "" {
+		r.mu.RUnlock()
+		if len(names) == 0 {
+			return nil, fmt.Errorf("scenario: no explorable families registered")
+		}
+		return names, nil
+	}
+	if pool, ok := r.explorableMemo[filter]; ok {
+		r.mu.RUnlock()
+		return pool, nil
+	}
+	r.mu.RUnlock()
+
+	allowed := map[string]bool{}
+	for _, n := range names {
+		allowed[n] = true
+	}
+	var out []string
+	for _, n := range strings.Split(filter, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !allowed[n] {
+			return nil, fmt.Errorf("scenario: family filter %q is not a registered explorable family (explorable: %v)", n, names)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: empty family filter %q", filter)
+	}
+	r.mu.Lock()
+	r.explorableMemo[filter] = out
+	r.mu.Unlock()
+	return out, nil
+}
+
+// Expectation derives the enforced property for a spec whose Expect field
+// is open: the family's declared default when it has one, otherwise the
+// paper's rule (its proven algorithm at an in-threshold (ring, team) must
+// explore; anything else is report-only). Unlike the pre-registry path,
+// an unregistered family is a loud error here — it used to fall through
+// silently to report-only.
+func (r *Registry) Expectation(s Spec) (string, error) {
+	d, err := r.familyOrErr(s.Family)
+	if err != nil {
+		return "", err
+	}
+	if d.Expect != "" {
+		return d.Expect, nil
+	}
+	return algorithmExpectation(s), nil
+}
+
+// algorithmExpectation is the family-independent half of the paper's
+// rule: the proven algorithm at an in-threshold (ring, team) must
+// explore; anything else is report-only.
+func algorithmExpectation(s Spec) string {
+	if s.Algorithm == paperAlgorithm(s.Ring, s.Robots) && s.Algorithm != "" {
+		return ExpectExplore
+	}
+	return ExpectNone
+}
+
+// ComposeFamilies builds a family descriptor that folds the named
+// registered oblivious families' edge schedules together under mode
+// ("union", "intersect" or "interleave" — see dynamics.NewComposed).
+// The members' declared parameters merge into one shared bag (families
+// reading the same field share its value), validation requires every
+// member's constraints, sampling draws each member's parameters in member
+// order, and the horizon is the largest any member asks for. Each member
+// builds from a seed derived from the spec seed and its position, so a
+// composed run replays exactly.
+//
+// The result is Explorable only if every member is; register it under a
+// "compose:" name (RegisterFamily) to make it campaign-reachable.
+func (r *Registry) ComposeFamilies(mode string, members ...string) (FamilyDescriptor, error) {
+	switch mode {
+	case dynamics.ComposeUnion, dynamics.ComposeIntersect, dynamics.ComposeInterleave:
+	default:
+		return FamilyDescriptor{}, fmt.Errorf("scenario: unknown compose mode %q (known: %v)", mode, dynamics.ComposeModes())
+	}
+	if len(members) < 2 {
+		return FamilyDescriptor{}, fmt.Errorf("scenario: compose needs at least two member families, got %d", len(members))
+	}
+	descs := make([]FamilyDescriptor, len(members))
+	explorable := true
+	var params []ParamField
+	seen := map[string]bool{}
+	for i, name := range members {
+		d, err := r.familyOrErr(name)
+		if err != nil {
+			return FamilyDescriptor{}, err
+		}
+		if d.Graph == nil {
+			return FamilyDescriptor{}, fmt.Errorf("scenario: compose member %q is not an oblivious (Graph) family", name)
+		}
+		descs[i] = d
+		explorable = explorable && d.Explorable
+		for _, f := range d.Params {
+			if !seen[f.Name] {
+				seen[f.Name] = true
+				params = append(params, f)
+			}
+		}
+	}
+	names := append([]string(nil), members...)
+	dd := descs
+	return FamilyDescriptor{
+		Description: fmt.Sprintf("%s of %s edge schedules", mode, strings.Join(names, "+")),
+		Params:      params,
+		Explorable:  explorable,
+		Validate: func(s Spec) error {
+			for i, d := range dd {
+				if d.Validate == nil {
+					continue
+				}
+				if err := d.Validate(memberSpec(s, i)); err != nil {
+					return fmt.Errorf("scenario: compose member %s: %w", names[i], err)
+				}
+			}
+			return nil
+		},
+		Graph: func(s Spec) (dyngraph.EvolvingGraph, error) {
+			graphs := make([]dyngraph.EvolvingGraph, len(dd))
+			for i, d := range dd {
+				g, err := d.Graph(memberSpec(s, i))
+				if err != nil {
+					return nil, fmt.Errorf("scenario: compose member %s: %w", names[i], err)
+				}
+				graphs[i] = g
+			}
+			g, err := dynamics.NewComposed(mode, graphs...)
+			if err != nil {
+				return nil, err
+			}
+			return g, nil
+		},
+		Sample: func(src *prng.Source, n, horizon int) Params {
+			var p Params
+			for _, d := range dd {
+				mergeParams(&p, d.sample(src, n, horizon))
+			}
+			return p
+		},
+		Horizon: func(n int, p Params) int {
+			h := exploreHorizon(n, p)
+			for _, d := range dd {
+				if mh := d.horizonFor(n, p); mh > h {
+					h = mh
+				}
+			}
+			return h
+		},
+	}, nil
+}
+
+// memberSpec derives the spec a compose member builds from: the shared
+// parameter bag with a member-distinct seed, so members draw independent
+// randomness from one spec seed.
+func memberSpec(s Spec, i int) Spec {
+	m := s
+	m.Seed = prng.Hash3(s.Seed, 0xC0113, uint64(i))
+	return m
+}
+
+// mergeParams copies b's non-zero fields into p (first member wins on
+// shared fields, matching the "shared bag" contract).
+func mergeParams(p *Params, b Params) {
+	if p.P == 0 {
+		p.P = b.P
+	}
+	if p.Up == 0 {
+		p.Up = b.Up
+	}
+	if p.Down == 0 {
+		p.Down = b.Down
+	}
+	if p.Delta == 0 {
+		p.Delta = b.Delta
+	}
+	if p.Edge == 0 {
+		p.Edge = b.Edge
+	}
+	if p.From == 0 {
+		p.From = b.From
+	}
+	if p.Period == 0 {
+		p.Period = b.Period
+	}
+	if p.T == 0 {
+		p.T = b.T
+	}
+	if p.Cut == 0 {
+		p.Cut = b.Cut
+	}
+	if p.Budget == 0 {
+		p.Budget = b.Budget
+	}
+}

@@ -203,8 +203,8 @@ func TestOracleExploresInThreshold(t *testing.T) {
 	// A representative in-threshold spec per family must satisfy the
 	// exploration predicate.
 	src := prng.NewSource(5)
-	for _, family := range cotFamilies {
-		p := cotParams(src, family, 8, 1600)
+	for _, family := range DefaultRegistry().stockGraphFamilies() {
+		p, _ := sampleFamily(DefaultRegistry(), src, family, 8)
 		s := Spec{
 			Version: Version, Ring: 8, Robots: 3, Algorithm: "pef3+",
 			Placement: PlaceEven, Family: family, Params: p,

@@ -20,8 +20,6 @@ import (
 	"io"
 	"strconv"
 	"strings"
-
-	"pef/internal/dynamics"
 )
 
 // Version is the current Spec format version, embedded in every encoded
@@ -52,8 +50,8 @@ const (
 	PlaceAdjacent = "adjacent"
 )
 
-// Adaptive scenario families layered on top of the oblivious
-// dynamics.Family registry.
+// Canonical names of the built-in adaptive adversary families (registered
+// by the bootstrap alongside the oblivious ones; see registry.go).
 const (
 	// FamilyBlockPointed is the budgeted stress adversary: every pointed
 	// edge is removed, but nothing stays absent beyond Params.Budget.
@@ -96,8 +94,8 @@ type Spec struct {
 	Algorithm string `json:"algorithm"`
 	// Placement selects the initial configuration policy.
 	Placement string `json:"placement"`
-	// Family names the dynamics family (a dynamics.FamilyNames entry,
-	// FamilyBlockPointed, FamilyConfineOne, or FamilyConfineTwo).
+	// Family names the dynamics family by registry name (built-in or
+	// registered via RegisterFamily).
 	Family string `json:"family"`
 	// Params is the family's parameter point.
 	Params Params `json:"params"`
@@ -202,26 +200,12 @@ func trimFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
-// knownFamily reports whether name is an oblivious dynamics family or one
-// of the adaptive scenario families.
-func knownFamily(name string) bool {
-	switch name {
-	case FamilyBlockPointed, FamilyConfineOne, FamilyConfineTwo:
-		return true
-	}
-	for _, f := range dynamics.FamilyNames() {
-		if f == name {
-			return true
-		}
-	}
-	return false
-}
-
-// Validate checks structural well-formedness: sizes in range, known
-// algorithm/placement/family/expectation names, and family-specific team
-// constraints for the confinement adversaries. It is exactly the
-// override-free case of the oracle's validateForRun, so the declarative
-// and run-time rule sets cannot drift.
+// Validate checks structural well-formedness against the default
+// registry: sizes in range, registered algorithm/placement/family/
+// expectation names, declared parameter ranges, and the family's own
+// structural constraints. It is exactly the override-free case of the
+// oracle's validateForRun, so the declarative and run-time rule sets
+// cannot drift.
 func (s Spec) Validate() error {
 	return validateForRun(s, RunOptions{})
 }
@@ -242,20 +226,24 @@ func paperAlgorithm(n, k int) string {
 	return ""
 }
 
-// Expectation derives the paper's prediction for the spec:
+// Expectation derives the paper's prediction for the spec via the default
+// registry:
 //
-//   - the confinement adversaries confine any algorithm → ExpectConfine;
+//   - families declaring a default property (the confinement adversaries
+//     declare ExpectConfine) → that property;
 //   - the matching paper algorithm on an in-threshold (n, k) against any
 //     connected-over-time family → ExpectExplore;
 //   - anything else (under-threshold teams on oblivious dynamics, baseline
 //     algorithms, mismatched paper algorithms) → ExpectNone.
+//
+// Unregistered families used to fall through silently to ExpectNone
+// (report-only); they are a loud failure now — Expectation panics, and the
+// error-returning Registry.Expectation is the checked form the oracle
+// uses.
 func Expectation(s Spec) string {
-	switch s.Family {
-	case FamilyConfineOne, FamilyConfineTwo:
-		return ExpectConfine
+	exp, err := DefaultRegistry().Expectation(s)
+	if err != nil {
+		panic(err)
 	}
-	if s.Algorithm == paperAlgorithm(s.Ring, s.Robots) && s.Algorithm != "" {
-		return ExpectExplore
-	}
-	return ExpectNone
+	return exp
 }

@@ -19,7 +19,13 @@
 //   - the scenario subsystem: declarative scenario specs, seeded random
 //     generators over the full parameter space, and a property oracle
 //     checking the paper's predicates over sharded campaigns of generated
-//     scenarios (see SCENARIOS.md).
+//     scenarios (see SCENARIOS.md),
+//   - the extension registry: RegisterAlgorithm, RegisterFamily and
+//     RegisterProperty make user-supplied algorithms, dynamics families
+//     (including ComposeFamilies combinations and PeriodicTimetable
+//     schedules) and oracle predicates first-class citizens of the same
+//     campaigns (see SCENARIOS.md "Extension registry" and
+//     examples/customfamily).
 //
 // Quick start — the unified, context-aware entry point runs a declarative
 // scenario and checks the paper's prediction for it:

@@ -73,6 +73,14 @@ func WithCancelCheckEvery(rounds int) Option {
 	return func(s *runSettings) { s.opts.CheckEvery = rounds }
 }
 
+// WithRegistry resolves the scenario's algorithm, family and property
+// names through r instead of the process-default registry — the bridge
+// for embedding programs that keep isolated extension sets (see
+// NewRegistry).
+func WithRegistry(r *Registry) Option {
+	return func(s *runSettings) { s.opts.Registry = r }
+}
+
 // Run is the unified, context-aware entry point of this package: it
 // executes one Scenario — declarative or assembled via options — under
 // ctx and returns the property oracle's structured verdict for it.
@@ -149,4 +157,8 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[ScenarioV
 // scenarios unchanged, and re-runs the scenario per probe (so its cost is
 // a small multiple of one run). Use it on campaign violations to turn a
 // sampled counterexample into a minimal, shareable one.
+//
+// Minimize resolves names through the default registry; shrink
+// violations found under a custom registry with its Registry.Minimize
+// method instead.
 func Minimize(s Scenario) Scenario { return scenario.Minimize(s) }

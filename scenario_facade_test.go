@@ -7,7 +7,7 @@ import (
 )
 
 func TestScenarioFacadeGenerateAndRun(t *testing.T) {
-	if got := ScenarioGenerators(); !reflect.DeepEqual(got, []string{"uniform", "boundary", "markov", "adversarial"}) {
+	if got := ScenarioGenerators(); !reflect.DeepEqual(got, []string{"uniform", "boundary", "markov", "adversarial", "registered"}) {
 		t.Fatalf("ScenarioGenerators() = %v", got)
 	}
 	specs, err := GenerateScenarios("uniform", GenConfig{MaxRing: 8}, 3, 5)
