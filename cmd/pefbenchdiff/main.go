@@ -6,16 +6,24 @@
 // regenerates the current trajectory and diffs it against the committed
 // previous one.
 //
+// When both arguments are scenario-campaign documents (pefscenarios -json)
+// instead, the diff switches to campaign mode: it compares the oracle OK
+// rates and — when both documents carry -timings wall times — the campaign
+// wall time, under the same gate. CI uses this to require the lockstep
+// engine's campaign to run no slower than the scalar engine's.
+//
 //	pefbenchdiff BENCH_0002.json BENCH_0003.json
 //	pefbenchdiff -fail-on-regress 0.0 OLD.json NEW.json
+//	pefbenchdiff -fail-on-regress 0.0 campaign_scalar.json campaign_lockstep.json
 //
 // Flags:
 //
-//	-fail-on-regress f   exit non-zero when any experiment's pass rate
-//	                     drops by more than f (a fraction in [0, 1]), or
-//	                     when wall times are present in both files and an
-//	                     experiment slows down by more than fraction f.
-//	                     Negative values (the default) disable the gate.
+//	-fail-on-regress f   exit non-zero when any experiment's pass rate (or
+//	                     the campaign's OK rate) drops by more than f (a
+//	                     fraction in [0, 1]), or when wall times are present
+//	                     in both files and an experiment (or the campaign)
+//	                     slows down by more than fraction f. Negative values
+//	                     (the default) disable the gate.
 package main
 
 import (
@@ -89,20 +97,51 @@ func aggregate(f benchFile) (order []string, stats map[string]expStats) {
 	return order, stats
 }
 
-// load parses one trajectory file.
-func load(path string) (benchFile, error) {
-	var f benchFile
+// campaignFile mirrors the fields pefbenchdiff consumes from a
+// pefscenarios -json campaign document.
+type campaignFile struct {
+	Version   int      `json:"version"`
+	Generator string   `json:"generator"`
+	Count     int      `json:"count"`
+	Seeds     []uint64 `json:"seeds"`
+	Total     int      `json:"total"`
+	OK        int      `json:"ok"`
+	OKRate    float64  `json:"okRate"`
+	// Millis is the campaign wall time; zero unless the document was
+	// captured with -timings.
+	Millis int64 `json:"millis"`
+}
+
+// document is one parsed input file: an experiment trajectory (Jobs
+// non-empty) or a scenario-campaign document (Campaign true).
+type document struct {
+	bench    benchFile
+	campaign campaignFile
+	isCamp   bool
+}
+
+// load parses one input file, detecting its kind: a jobs list marks an
+// experiment trajectory, a generator name marks a campaign document.
+func load(path string) (document, error) {
+	var d document
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return f, err
+		return d, err
 	}
-	if err := json.Unmarshal(data, &f); err != nil {
-		return f, fmt.Errorf("parsing %s: %w", path, err)
+	if err := json.Unmarshal(data, &d.bench); err != nil {
+		return d, fmt.Errorf("parsing %s: %w", path, err)
 	}
-	if len(f.Jobs) == 0 {
-		return f, fmt.Errorf("%s carries no jobs", path)
+	if len(d.bench.Jobs) > 0 {
+		return d, nil
 	}
-	return f, nil
+	if err := json.Unmarshal(data, &d.campaign); err != nil {
+		return d, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if d.campaign.Generator != "" && d.campaign.Total > 0 {
+		d.isCamp = true
+		return d, nil
+	}
+	return d, fmt.Errorf("%s carries neither experiment jobs nor a campaign", path)
 }
 
 // mergedOrder returns oldOrder followed by the experiments that only the
@@ -129,14 +168,21 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("usage: pefbenchdiff [-fail-on-regress f] OLD.json NEW.json")
 	}
-	oldF, err := load(fs.Arg(0))
+	oldD, err := load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	newF, err := load(fs.Arg(1))
+	newD, err := load(fs.Arg(1))
 	if err != nil {
 		return err
 	}
+	if oldD.isCamp != newD.isCamp {
+		return fmt.Errorf("cannot diff an experiment trajectory against a campaign document")
+	}
+	if oldD.isCamp {
+		return campaignDiff(stdout, fs.Arg(0), fs.Arg(1), oldD.campaign, newD.campaign, *failOn)
+	}
+	oldF, newF := oldD.bench, newD.bench
 
 	oldOrder, oldStats := aggregate(oldF)
 	newOrder, newStats := aggregate(newF)
@@ -273,6 +319,54 @@ func oldHasTimings(stats map[string]expStats) bool {
 		}
 	}
 	return false
+}
+
+// campaignDiff renders the campaign-mode comparison: OK rates always,
+// wall times when both documents carry them, both under the regression
+// gate. The two campaigns need not share a generator — the lockstep
+// wall-time gate diffs the same campaign under two engines — but mismatched
+// scenario counts make the wall-time ratio meaningless, so they fail.
+func campaignDiff(stdout io.Writer, oldPath, newPath string, oldC, newC campaignFile, failOn float64) error {
+	fmt.Fprintf(stdout, "# Campaign diff: %s → %s\n\n", oldPath, newPath)
+	ct := metrics.NewTable("campaign", "generator", "scenarios", "ok", "okRate", "wall ms")
+	wall := func(ms int64) string {
+		if ms == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", ms)
+	}
+	ct.AddRow("old", oldC.Generator, oldC.Total, oldC.OK, pct(oldC.OKRate), wall(oldC.Millis))
+	ct.AddRow("new", newC.Generator, newC.Total, newC.OK, pct(newC.OKRate), wall(newC.Millis))
+	if err := ct.Render(stdout); err != nil {
+		return err
+	}
+
+	var regressions []string
+	if oldC.Total != newC.Total {
+		regressions = append(regressions,
+			fmt.Sprintf("scenario counts differ: %d → %d (wall times not comparable)", oldC.Total, newC.Total))
+	}
+	if delta := newC.OKRate - oldC.OKRate; failOn >= 0 && -delta > failOn {
+		regressions = append(regressions,
+			fmt.Sprintf("OK rate %s → %s", pct(oldC.OKRate), pct(newC.OKRate)))
+	}
+	if oldC.Millis > 0 && newC.Millis > 0 {
+		ratio := float64(newC.Millis) / float64(oldC.Millis)
+		fmt.Fprintf(stdout, "\nwall time: %dms → %dms (%.2fx)\n", oldC.Millis, newC.Millis, ratio)
+		if failOn >= 0 && ratio > 1+failOn {
+			regressions = append(regressions,
+				fmt.Sprintf("wall time %dms → %dms (%.2fx)", oldC.Millis, newC.Millis, ratio))
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(stdout, "\n---\n%d regression(s) beyond threshold %.2f:\n", len(regressions), failOn)
+		for _, r := range regressions {
+			fmt.Fprintf(stdout, "- %s\n", r)
+		}
+		return fmt.Errorf("%d regression(s) beyond threshold %v", len(regressions), failOn)
+	}
+	fmt.Fprintf(stdout, "\n---\nno regressions%s.\n", gateSuffix(failOn))
+	return nil
 }
 
 // gateSuffix annotates the verdict with the active gate, if any.

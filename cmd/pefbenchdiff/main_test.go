@@ -100,6 +100,59 @@ func TestIdenticalTrajectoriesPass(t *testing.T) {
 	}
 }
 
+const oldCampaign = `{
+  "version": 1, "generator": "uniform", "count": 200, "seeds": [1, 2],
+  "total": 400, "ok": 400, "okRate": 1.0, "families": [], "scalars": [],
+  "millis": 500
+}`
+
+const newCampaign = `{
+  "version": 1, "generator": "uniform", "count": 200, "seeds": [1, 2],
+  "total": 400, "ok": 396, "okRate": 0.99, "families": [], "scalars": [],
+  "millis": 150
+}`
+
+func TestCampaignDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", oldCampaign)
+	newP := write(t, dir, "new.json", newCampaign)
+
+	var b strings.Builder
+	if err := run([]string{"-fail-on-regress", "0.05", oldP, newP}, &b); err != nil {
+		t.Fatalf("campaign diff within tolerance failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"Campaign diff", "uniform", "0.30x", "no regressions"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("campaign diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A zero-tolerance gate must flag both the OK-rate drop and, with the
+	// roles swapped, the wall-time growth.
+	b.Reset()
+	if err := run([]string{"-fail-on-regress", "0", oldP, newP}, &b); err == nil {
+		t.Fatalf("gate accepted an OK-rate drop:\n%s", b.String())
+	}
+	b.Reset()
+	if err := run([]string{"-fail-on-regress", "0", newP, oldP}, &b); err == nil {
+		t.Fatalf("gate accepted a 3.3x wall-time growth:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "wall time") {
+		t.Fatalf("gate did not name the wall-time regression:\n%s", b.String())
+	}
+}
+
+func TestMixedDocumentKindsRejected(t *testing.T) {
+	dir := t.TempDir()
+	trajP := write(t, dir, "traj.json", oldDoc)
+	campP := write(t, dir, "camp.json", oldCampaign)
+	var b strings.Builder
+	if err := run([]string{trajP, campP}, &b); err == nil {
+		t.Fatal("trajectory-vs-campaign diff accepted")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"one.json"}, &b); err == nil {

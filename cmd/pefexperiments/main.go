@@ -27,6 +27,10 @@
 //	            row IDs (E-T1.R1#n=4, E-T1.R2#n=4/a=keep-direction, …);
 //	            pass -shard=false for the coarse one-row-per-experiment
 //	            tables.
+//	-lockstep   exercise the bit-parallel lockstep engine in experiments
+//	            that use it (E-X12). On by default; -lockstep=false is the
+//	            scalar escape hatch for bisecting a suspected engine
+//	            divergence, mirroring pefscenarios -lockstep=false.
 //	-quick      reduced horizons and sweeps
 //
 // The process exits non-zero when any (experiment, seed) job errors or
@@ -56,14 +60,15 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pefexperiments", flag.ContinueOnError)
 	var (
-		seed    = fs.Uint64("seed", 1, "base experiment seed")
-		seeds   = fs.Int("seeds", 1, "number of consecutive seeds to sweep, starting at -seed")
-		workers = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
-		jsonOut = fs.Bool("json", false, "emit the sweep as JSON")
-		timings = fs.Bool("timings", false, "include per-job wall times in -json output (non-deterministic; for pefbenchdiff)")
-		quick   = fs.Bool("quick", false, "reduced horizons and sweeps")
-		shard   = fs.Bool("shard", true, "split heavy ring-size sweeps into per-ring-size jobs (-shard=false for coarse rows)")
-		only    = fs.String("only", "", "run a single experiment by ID (e.g. E-F2)")
+		seed     = fs.Uint64("seed", 1, "base experiment seed")
+		seeds    = fs.Int("seeds", 1, "number of consecutive seeds to sweep, starting at -seed")
+		workers  = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
+		jsonOut  = fs.Bool("json", false, "emit the sweep as JSON")
+		timings  = fs.Bool("timings", false, "include per-job wall times in -json output (non-deterministic; for pefbenchdiff)")
+		quick    = fs.Bool("quick", false, "reduced horizons and sweeps")
+		shard    = fs.Bool("shard", true, "split heavy ring-size sweeps into per-ring-size jobs (-shard=false for coarse rows)")
+		lockstep = fs.Bool("lockstep", true, "exercise the bit-parallel lockstep engine where experiments use it (-lockstep=false for the scalar escape hatch)")
+		only     = fs.String("only", "", "run a single experiment by ID (e.g. E-F2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,11 +88,12 @@ func run(args []string, stdout io.Writer) error {
 	sweep := harness.Seeds(*seed, *seeds)
 
 	cfg := harness.BatchConfig{
-		Experiments: exps,
-		Seeds:       sweep,
-		Workers:     *workers,
-		Quick:       *quick,
-		Shard:       *shard,
+		Experiments:     exps,
+		Seeds:           sweep,
+		Workers:         *workers,
+		Quick:           *quick,
+		Shard:           *shard,
+		DisableLockstep: !*lockstep,
 	}
 
 	var jobs []harness.JobResult

@@ -40,6 +40,15 @@
 //	-families F,G    restrict the "registered" generator to these
 //	                 registered explorable families
 //	-maxring N       largest sampled ring size (default 16)
+//	-lockstep        run shape-aligned scenarios on the bit-parallel
+//	                 lockstep engine, up to 64 seeds per machine word
+//	                 (default true; -lockstep=false forces the scalar
+//	                 engine — output is byte-identical either way)
+//	-lanewidth N     scenarios batched per worker job for lane packing
+//	                 (default 1024; ignored with -lockstep=false)
+//	-timings         record the campaign's wall time: a trailing line in
+//	                 report mode, the "millis" field in -json mode (the
+//	                 only field that varies run to run)
 //	-json            emit the versioned campaign document (for BENCH_*.json)
 //	-list            list the registry contents (generators, families,
 //	                 algorithms, properties) and exit
@@ -76,6 +85,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"pef/internal/harness"
 	"pef/internal/scenario"
@@ -98,6 +108,9 @@ func run(args []string, stdout io.Writer) error {
 		family     = fs.String("family", "uniform", "generator (see -list)")
 		families   = fs.String("families", "", "comma-separated family pool for the registered generator")
 		maxRing    = fs.Int("maxring", 16, "largest sampled ring size")
+		lockstep   = fs.Bool("lockstep", true, "run shape-aligned scenarios on the bit-parallel lane engine")
+		laneWidth  = fs.Int("lanewidth", 0, "scenarios batched per worker job for lane packing (<1 means 1024)")
+		timings    = fs.Bool("timings", false, "record the campaign's wall time in the output")
 		jsonOut    = fs.Bool("json", false, "emit the versioned campaign document")
 		list       = fs.Bool("list", false, "list the registry contents and exit")
 		checkpoint = fs.String("checkpoint", "", "write a resumable checkpoint to this path on finish or halt")
@@ -152,9 +165,11 @@ func run(args []string, stdout io.Writer) error {
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	cfg := scenario.CampaignConfig{
-		Workers:    *workers,
-		ShardIndex: *shardIdx,
-		ShardCount: *shardCnt,
+		Workers:         *workers,
+		ShardIndex:      *shardIdx,
+		ShardCount:      *shardCnt,
+		DisableLockstep: !*lockstep,
+		LaneWidth:       *laneWidth,
 	}
 	if *resume != "" {
 		data, err := os.ReadFile(*resume)
@@ -186,6 +201,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	start := agg.Start() + agg.Done()
 	halted := false
+	began := time.Now()
 	for v, serr := range scenario.StreamCampaign(context.Background(), cfg) {
 		if serr != nil && v.ID == "" {
 			return serr // configuration failure: nothing ran
@@ -217,12 +233,23 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	elapsed := time.Since(began)
+	if *timings {
+		agg.SetWallMillis(elapsed.Milliseconds())
+	}
 	if *jsonOut {
 		if err := agg.WriteJSON(stdout); err != nil {
 			return err
 		}
-	} else if err := agg.WriteReport(stdout); err != nil {
-		return err
+	} else {
+		if err := agg.WriteReport(stdout); err != nil {
+			return err
+		}
+		if *timings {
+			if _, err := fmt.Fprintf(stdout, "wall time: %d ms\n", elapsed.Milliseconds()); err != nil {
+				return err
+			}
+		}
 	}
 	violations := agg.Violations()
 	if *minimize {

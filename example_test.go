@@ -97,6 +97,35 @@ func ExampleRun() {
 	// expect=explore outcome=explored ok=true covered=8/8
 }
 
+// RunSeeds amortizes one scenario shape across many seeds: up to 64
+// seeds advance bit-parallel per machine word on the lockstep engine,
+// and every verdict is byte-identical to a scalar Run with that seed.
+func ExampleRunSeeds() {
+	shape := pef.Scenario{
+		Version: 1, Ring: 10, Robots: 3, Algorithm: "pef3+", Placement: "random",
+		Family: "bernoulli", Params: pef.ScenarioParams{P: 0.7},
+		Horizon: 2000,
+	}
+	seeds := make([]uint64, 64)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	verdicts, err := pef.RunSeeds(context.Background(), shape, seeds)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	explored := 0
+	for _, v := range verdicts {
+		if v.OK && v.Outcome == "explored" {
+			explored++
+		}
+	}
+	fmt.Printf("%d/%d seeds explored the ring\n", explored, len(verdicts))
+	// Output:
+	// 64/64 seeds explored the ring
+}
+
 // Campaigns stream verdicts in canonical order with bounded memory: fold
 // them into a CampaignAggregate for reports (byte-identical to the
 // collected RunCampaign path) and checkpoint at any cut for resumption.

@@ -1,0 +1,85 @@
+package core
+
+import "pef/internal/robot"
+
+// This file gives every paper algorithm (and the two ablations) a
+// bit-parallel lane core: the same Compute rule expressed as a boolean
+// circuit over 64-lane words, so the lockstep engine advances 64 seeds of
+// a spec with a handful of word operations. Each circuit is derived
+// line-by-line from the scalar Compute next to it; the differential tests
+// in lanes_test.go verify the equivalence exhaustively.
+
+// pef3LaneCore is pef3Core across 64 lanes: per-lane dir and
+// HasMovedPreviousStep bits.
+type pef3LaneCore struct {
+	dirRight uint64 // bit l: lane l's dir is Right
+	moved    uint64 // bit l: lane l's HasMovedPreviousStep
+}
+
+// NewLaneCore implements robot.LaneAlgorithm.
+func (PEF3Plus) NewLaneCore() robot.LaneCore { return &pef3LaneCore{} }
+
+func (c *pef3LaneCore) DirRight() uint64 { return c.dirRight }
+
+// Compute is Algorithm 1 as a circuit. A lane flips (Rule 3) iff it moved
+// last step and stands in a tower; line 4's ExistsEdge(dir) with the
+// updated dir selects EdgeDir on unflipped lanes and EdgeOpp on flipped
+// ones (the view was gathered with the Look-phase dir).
+func (c *pef3LaneCore) Compute(view robot.LaneView) {
+	flip := c.moved & view.OtherRobots
+	c.dirRight ^= flip
+	c.moved = (view.EdgeDir &^ flip) | (view.EdgeOpp & flip)
+}
+
+// dirLaneCore covers the dir-only algorithms: the flip rule is a pure
+// function of the view, returning the mask of lanes whose dir negates.
+type dirLaneCore struct {
+	dirRight uint64
+	flip     func(view robot.LaneView) uint64
+}
+
+func (c *dirLaneCore) DirRight() uint64 { return c.dirRight }
+
+func (c *dirLaneCore) Compute(view robot.LaneView) {
+	c.dirRight ^= c.flip(view)
+}
+
+// NewLaneCore implements robot.LaneAlgorithm: an isolated robot with
+// exactly one adjacent edge present turns towards it; all other lanes
+// keep their direction.
+func (PEF2) NewLaneCore() robot.LaneCore {
+	return &dirLaneCore{flip: func(view robot.LaneView) uint64 {
+		return ^view.OtherRobots & view.EdgeOpp & ^view.EdgeDir
+	}}
+}
+
+// NewLaneCore implements robot.LaneAlgorithm: a lane turns iff its pointed
+// edge is absent and the other one is present.
+func (PEF1) NewLaneCore() robot.LaneCore {
+	return &dirLaneCore{flip: func(view robot.LaneView) uint64 {
+		return ^view.EdgeDir & view.EdgeOpp
+	}}
+}
+
+// NewLaneCore implements robot.LaneAlgorithm: pure Rule 1, no lane ever
+// turns.
+func (NoRule3) NewLaneCore() robot.LaneCore {
+	return &dirLaneCore{flip: func(robot.LaneView) uint64 { return 0 }}
+}
+
+// NewLaneCore implements robot.LaneAlgorithm: every lane in a tower turns,
+// moved or not.
+func (NoRule2) NewLaneCore() robot.LaneCore {
+	return &dirLaneCore{flip: func(view robot.LaneView) uint64 {
+		return view.OtherRobots
+	}}
+}
+
+// verify interface compliance at compile time.
+var (
+	_ robot.LaneAlgorithm = PEF3Plus{}
+	_ robot.LaneAlgorithm = PEF2{}
+	_ robot.LaneAlgorithm = PEF1{}
+	_ robot.LaneAlgorithm = NoRule3{}
+	_ robot.LaneAlgorithm = NoRule2{}
+)

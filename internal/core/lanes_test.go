@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"pef/internal/prng"
+	"pef/internal/robot"
+)
+
+// laneAlgorithms lists every algorithm that must keep its lane core in
+// lockstep with its scalar core.
+func laneAlgorithms() []robot.LaneAlgorithm {
+	return []robot.LaneAlgorithm{PEF3Plus{}, PEF2{}, PEF1{}, NoRule3{}, NoRule2{}}
+}
+
+// TestLaneCoresMatchScalarCores drives each algorithm's lane core and 64
+// independent scalar cores through the same random view sequences and
+// checks the dir words agree after every step. Sixty-four random lanes
+// over 256 steps cover every reachable (state, view) transition of these
+// tiny state machines many times over.
+func TestLaneCoresMatchScalarCores(t *testing.T) {
+	for _, alg := range laneAlgorithms() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			src := prng.NewSource(0x1A9E5 ^ uint64(len(alg.Name())))
+			lane := alg.NewLaneCore()
+			scalars := make([]robot.Core, 64)
+			for l := range scalars {
+				scalars[l] = alg.NewCore()
+			}
+			if lane.DirRight() != 0 {
+				t.Fatalf("initial DirRight = %#x, want 0 (all lanes start Left)", lane.DirRight())
+			}
+			for step := 0; step < 256; step++ {
+				view := robot.LaneView{
+					EdgeDir:     src.Uint64(),
+					EdgeOpp:     src.Uint64(),
+					OtherRobots: src.Uint64(),
+				}
+				lane.Compute(view)
+				var wantDir uint64
+				for l, c := range scalars {
+					c.Compute(robot.View{
+						EdgeDir:     view.EdgeDir&(1<<uint(l)) != 0,
+						EdgeOpp:     view.EdgeOpp&(1<<uint(l)) != 0,
+						OtherRobots: view.OtherRobots&(1<<uint(l)) != 0,
+					})
+					if c.Dir() == robot.Right {
+						wantDir |= 1 << uint(l)
+					}
+				}
+				if got := lane.DirRight(); got != wantDir {
+					t.Fatalf("step %d: DirRight = %#x, want %#x (diff %#x)",
+						step, got, wantDir, got^wantDir)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,11 @@ type Bernoulli struct {
 	r    ring.Ring
 	p    float64
 	seed uint64
+
+	// Lane fast-path tables (lanes.go), built lazily on first EdgeWordAt:
+	// the per-edge Stream3 prefixes and the integer acceptance threshold.
+	lanePrefix []uint64
+	laneThr    uint64
 }
 
 // NewBernoulli returns a Bernoulli(p) dynamics over an n-node ring. It
@@ -143,6 +148,11 @@ type BoundedRecurrence struct {
 	base  dyngraph.EvolvingGraph
 	delta int
 	seed  uint64
+
+	// Lane fast-path table (lanes.go), built lazily on first EdgeWordAt:
+	// forced[r] holds the edges whose phase is r, so the wrapper's whole
+	// contribution at instant t is one OR of forced[t%delta].
+	forced []uint64
 }
 
 // NewBoundedRecurrence wraps base with recurrence bound delta >= 1.

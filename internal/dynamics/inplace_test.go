@@ -1,0 +1,55 @@
+package dynamics
+
+import (
+	"testing"
+
+	"pef/internal/dyngraph"
+	"pef/internal/ring"
+)
+
+// TestInPlaceMatchesPresent checks that every family's in-place fast path
+// produces exactly the edge set its Present function describes, instant
+// by instant — the invariant the lockstep engine's byte-identity rests on.
+func TestInPlaceMatchesPresent(t *testing.T) {
+	const n = 11
+	bern := NewBernoulli(n, 0.6, 42)
+	graphs := []struct {
+		name string
+		g    dyngraph.InPlaceGraph
+	}{
+		{"bernoulli", bern},
+		{"t-interval", NewTInterval(n, 3, 7)},
+		{"roving", NewRovingMissing(n, 4)},
+		{"bounded", NewBoundedRecurrence(NewBernoulli(n, 0.3, 9), 5, 13)},
+		{"chain", NewChain(NewBoundedRecurrence(NewBernoulli(n, 0.5, 3), 4, 21), 6)},
+	}
+	pat := make([][]bool, n)
+	for e := range pat {
+		pat[e] = []bool{true, e%2 == 0, e%3 != 0}
+	}
+	periodic, err := NewPeriodic(n, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, struct {
+		name string
+		g    dyngraph.InPlaceGraph
+	}{"periodic", periodic})
+
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			var dst ring.EdgeSet
+			for instant := -1; instant < 80; instant++ {
+				tc.g.EdgesAtInto(instant, &dst)
+				if dst.Size() != n {
+					t.Fatalf("t=%d: set size %d, want %d", instant, dst.Size(), n)
+				}
+				for e := 0; e < n; e++ {
+					if got, want := dst.Contains(e), tc.g.Present(e, instant); got != want {
+						t.Fatalf("t=%d edge %d: in-place says %v, Present says %v", instant, e, got, want)
+					}
+				}
+			}
+		})
+	}
+}

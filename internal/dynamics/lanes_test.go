@@ -1,0 +1,111 @@
+package dynamics
+
+import (
+	"testing"
+
+	"pef/internal/dyngraph"
+	"pef/internal/ring"
+)
+
+// TestEdgeWordMatchesInPlace checks that every family's word fast path
+// reports exactly the presence word of its EdgesAtInto set, instant by
+// instant — the invariant that lets the lockstep engine skip the EdgeSet.
+func TestEdgeWordMatchesInPlace(t *testing.T) {
+	const n = 11
+	pat := make([][]bool, n)
+	for e := range pat {
+		pat[e] = []bool{true, e%2 == 0, e%3 != 0}
+	}
+	periodic, err := NewPeriodic(n, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := NewComposed(ComposeUnion, NewBernoulli(n, 0.3, 5), NewRovingMissing(n, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intersect, err := NewComposed(ComposeIntersect, NewBernoulli(n, 0.8, 6), NewTInterval(n, 3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	interleave, err := NewComposed(ComposeInterleave, NewBernoulli(n, 0.5, 7), periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []struct {
+		name string
+		g    dyngraph.WordGraph
+	}{
+		{"bernoulli", NewBernoulli(n, 0.6, 42)},
+		{"bernoulli-never", NewBernoulli(n, 0, 42)},
+		{"bernoulli-always", NewBernoulli(n, 1, 42)},
+		{"t-interval", NewTInterval(n, 3, 7)},
+		{"roving", NewRovingMissing(n, 4)},
+		{"periodic", periodic},
+		{"bounded", NewBoundedRecurrence(NewBernoulli(n, 0.3, 9), 5, 13)},
+		{"chain", NewChain(NewBoundedRecurrence(NewBernoulli(n, 0.5, 3), 4, 21), 6)},
+		{"compose-union", union},
+		{"compose-intersect", intersect},
+		{"compose-interleave", interleave},
+	}
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			var dst ring.EdgeSet
+			for instant := -1; instant < 200; instant++ {
+				dyngraph.EdgesInto(tc.g, instant, &dst)
+				w, ok := tc.g.EdgeWordAt(instant)
+				if !ok {
+					t.Fatalf("t=%d: word path unexpectedly unavailable", instant)
+				}
+				if want := dst.Word(0); w != want {
+					t.Fatalf("t=%d: word %#x, set word %#x", instant, w, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEdgeWordProbabilitySweep sweeps Bernoulli probabilities — including
+// awkward ones near the threshold-rounding boundaries — to pin the integer
+// acceptance bound against the float comparison at scale.
+func TestEdgeWordProbabilitySweep(t *testing.T) {
+	const n = 13
+	for _, p := range []float64{0, 1e-12, 0.1, 0.25, 1.0 / 3, 0.5, 0.7, 0.99999, 1} {
+		b := NewBernoulli(n, p, 99)
+		var dst ring.EdgeSet
+		for instant := 0; instant < 300; instant++ {
+			dyngraph.EdgesInto(b, instant, &dst)
+			w, ok := b.EdgeWordAt(instant)
+			if !ok || w != dst.Word(0) {
+				t.Fatalf("p=%v t=%d: word %#x ok=%v, set word %#x", p, instant, w, ok, dst.Word(0))
+			}
+		}
+	}
+}
+
+// TestEdgeWordUnavailable checks that wrappers over word-less bases decline
+// the fast path instead of fabricating words.
+func TestEdgeWordUnavailable(t *testing.T) {
+	base := presentOnly{r: ring.New(8)}
+	for name, g := range map[string]dyngraph.WordGraph{
+		"bounded": NewBoundedRecurrence(base, 4, 1),
+		"chain":   NewChain(base, 2),
+	} {
+		if _, ok := g.EdgeWordAt(5); ok {
+			t.Errorf("%s over a word-less base claims the fast path", name)
+		}
+	}
+	comp, err := NewComposed(ComposeIntersect, NewBernoulli(8, 0.5, 1), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := comp.EdgeWordAt(5); ok {
+		t.Error("composition with a word-less member claims the fast path")
+	}
+}
+
+// presentOnly is an EvolvingGraph without in-place or word fast paths.
+type presentOnly struct{ r ring.Ring }
+
+func (g presentOnly) Ring() ring.Ring       { return g.r }
+func (g presentOnly) Present(e, t int) bool { return g.r.ValidEdge(e) && t >= 0 }

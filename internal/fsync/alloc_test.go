@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"pef/internal/core"
-	"pef/internal/dyngraph"
 	"pef/internal/dynamics"
+	"pef/internal/dyngraph"
 )
 
 // TestStepIsAllocationFree is the allocation-discipline guard for the

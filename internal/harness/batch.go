@@ -19,6 +19,10 @@ type BatchConfig struct {
 	Workers int
 	// Quick is forwarded to every job's Config.
 	Quick bool
+	// DisableLockstep is forwarded to every job's Config: experiments that
+	// exercise the bit-parallel lockstep engine fall back to the scalar
+	// path (pefexperiments -lockstep=false).
+	DisableLockstep bool
 	// Shard expands experiments that declare Shards (the heavy ring-size
 	// sweeps) into per-ring-size sub-experiments before building the job
 	// matrix, so no single experiment serializes a sweep on one worker.
@@ -121,7 +125,11 @@ func RunBatch(ctx context.Context, cfg BatchConfig) ([]JobResult, error) {
 		Total:   len(exps) * len(seeds),
 		Workers: cfg.Workers,
 		Run: func(i int) JobResult {
-			return runJob(exps[i/len(seeds)], seeds[i%len(seeds)], cfg.Quick)
+			return runJob(exps[i/len(seeds)], Config{
+				Seed:            seeds[i%len(seeds)],
+				Quick:           cfg.Quick,
+				DisableLockstep: cfg.DisableLockstep,
+			})
 		},
 		Placeholder: func(i int) JobResult {
 			return newJobResult(exps[i/len(seeds)], seeds[i%len(seeds)])
@@ -139,22 +147,23 @@ func RunBatch(ctx context.Context, cfg BatchConfig) ([]JobResult, error) {
 	})
 }
 
-// runJob executes one experiment under one seed, converting panics into
-// failed results so a single diverging experiment cannot take down a sweep.
-func runJob(e Experiment, seed uint64, quick bool) (jr JobResult) {
-	jr = newJobResult(e, seed)
+// runJob executes one experiment under one job Config, converting panics
+// into failed results so a single diverging experiment cannot take down a
+// sweep.
+func runJob(e Experiment, c Config) (jr JobResult) {
+	jr = newJobResult(e, c.Seed)
 	start := time.Now()
 	defer func() {
 		jr.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
-			jr.Err = fmt.Errorf("harness: experiment %s (seed %d): panic: %v", e.ID, seed, r)
+			jr.Err = fmt.Errorf("harness: experiment %s (seed %d): panic: %v", e.ID, c.Seed, r)
 			jr.Result.Pass = false
 			jr.Result.Notes = append(jr.Result.Notes, fmt.Sprintf("recovered panic: %v", r))
 		}
 	}()
-	res, err := e.Run(Config{Seed: seed, Quick: quick})
+	res, err := e.Run(c)
 	if err != nil {
-		jr.Err = fmt.Errorf("harness: experiment %s (seed %d): %w", e.ID, seed, err)
+		jr.Err = fmt.Errorf("harness: experiment %s (seed %d): %w", e.ID, c.Seed, err)
 		return jr
 	}
 	jr.Result = res

@@ -23,6 +23,11 @@ type Config struct {
 	// Quick reduces horizons and sweep sizes (used by unit tests and
 	// benchmarks); the full experiment suite leaves it false.
 	Quick bool
+	// DisableLockstep keeps experiments that exercise the bit-parallel
+	// lockstep engine on the scalar path instead — the same escape hatch
+	// scenario campaigns expose, for bisecting a suspected engine
+	// divergence. Experiments that never touch the engine ignore it.
+	DisableLockstep bool
 }
 
 // Result is one experiment's outcome.
@@ -158,6 +163,7 @@ func All() []Experiment {
 		{ID: "E-X9", Title: "Dynamics taxonomy classification", Artifact: "taxonomy of [6] (Section 2.1 context)", Run: runX9},
 		{ID: "E-X10", Title: "Sentinel formation time (Lemma 3.7)", Artifact: "Lemma 3.7", Run: runX10, Shards: shardX10},
 		{ID: "E-X11", Title: "The three-robot threshold: containment vs legality", Artifact: "Table 1 synthesis", Run: runX11},
+		{ID: "E-X12", Title: "Lockstep engine equivalence: bit-parallel vs scalar trajectories", Artifact: "extension (engine invariant)", Run: runX12},
 	}
 }
 
@@ -182,9 +188,10 @@ func RunAll(cfg Config, w io.Writer) ([]Result, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	_, err := RunBatch(ctx, BatchConfig{
-		Seeds:   []uint64{cfg.Seed},
-		Workers: 1,
-		Quick:   cfg.Quick,
+		Seeds:           []uint64{cfg.Seed},
+		Workers:         1,
+		Quick:           cfg.Quick,
+		DisableLockstep: cfg.DisableLockstep,
 		OnResult: func(j JobResult) {
 			if firstErr != nil {
 				return

@@ -14,7 +14,10 @@
 // and is trivially random-access.
 package prng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // mix is the SplitMix64 finalizer: a bijective avalanche permutation of the
 // 64-bit input.
@@ -38,6 +41,32 @@ func Hash3(seed, stream, t uint64) uint64 {
 func Float64At(seed, stream, t uint64) float64 {
 	// 53 high bits, the float64 mantissa width.
 	return float64(Hash3(seed, stream, t)>>11) / (1 << 53)
+}
+
+// Stream3 precomputes the (seed, stream) prefix of Hash3, so call sites
+// that query one stream at many instants pay the two prefix mixes once:
+// At3(Stream3(seed, stream), t) == Hash3(seed, stream, t) for every t.
+func Stream3(seed, stream uint64) uint64 {
+	h := mix(seed)
+	return mix(h ^ bits.RotateLeft64(stream, 31))
+}
+
+// At3 finishes a Stream3 prefix at instant t.
+func At3(prefix, t uint64) uint64 {
+	return mix(prefix ^ bits.RotateLeft64(t, 17))
+}
+
+// Threshold53 converts a probability into the integer acceptance bound of
+// BoolAt: for every triple, BoolAt(seed, stream, t, p) is exactly
+// Hash3(seed, stream, t)>>11 < Threshold53(p). The equivalence is bitwise:
+// Float64At scales a 53-bit integer by the exact power 2^-53, so comparing
+// against p is comparing that integer against p*2^53, rounded up to the
+// next integer when fractional.
+func Threshold53(p float64) uint64 {
+	if !(p > 0) { // also rejects NaN
+		return 0
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
 }
 
 // UintnAt returns a uniform integer in [0, n) for the triple. It panics if

@@ -160,3 +160,37 @@ func TestBoolAtFrequencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStream3At3MatchesHash3 pins the split-hash identity the lane engine's
+// materialization fast path rests on: precomputing the (seed, stream)
+// prefix and finishing per instant is the same function as Hash3.
+func TestStream3At3MatchesHash3(t *testing.T) {
+	f := func(seed, stream, at uint64) bool {
+		return At3(Stream3(seed, stream), at) == Hash3(seed, stream, at)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreshold53MatchesBoolAt pins the integer acceptance bound against
+// the float comparison over random triples and probabilities, plus the
+// exact boundary cases.
+func TestThreshold53MatchesBoolAt(t *testing.T) {
+	f := func(seed, stream, at uint64, raw uint16) bool {
+		p := float64(raw) / 65535
+		thr := Threshold53(p)
+		return (Hash3(seed, stream, at)>>11 < thr) == BoolAt(seed, stream, at, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 1e-300, 1.0 / 3, 0.5, 1} {
+		thr := Threshold53(p)
+		for i := uint64(0); i < 2000; i++ {
+			if (Hash3(3, 9, i)>>11 < thr) != BoolAt(3, 9, i, p) {
+				t.Fatalf("p=%v t=%d: threshold disagrees with BoolAt", p, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package robot
+
+// This file defines the seed-lane dimension of the lockstep engine: a
+// LaneCore is one robot's state machine replicated across up to 64
+// independent seed lanes, one bit per lane per variable, advanced with
+// word-wide boolean transitions. Lane l of every word corresponds to seed
+// lane l; bits of retired lanes are garbage the caller masks out.
+
+// LaneView is the Look-phase view of one robot across all lanes: each
+// field is the per-lane value of the corresponding View predicate, bit l
+// holding lane l's bit.
+type LaneView struct {
+	// EdgeDir is ExistsEdge(dir) per lane (dir as of the Look phase).
+	EdgeDir uint64
+	// EdgeOpp is ExistsEdge(opposite dir) per lane.
+	EdgeOpp uint64
+	// OtherRobots is ExistsOtherRobotsOnCurrentNode() per lane.
+	OtherRobots uint64
+}
+
+// LaneCore is the bit-parallel form of Core: the same deterministic
+// Compute rule applied to 64 lanes at once. Lane l of a LaneCore must
+// evolve exactly as a scalar Core fed lane l's views — the lockstep
+// engine's byte-identity guarantee rests on that equivalence, which the
+// core package's differential tests pin down.
+type LaneCore interface {
+	// DirRight returns the dir variable per lane: bit l set iff lane l's
+	// dir is Right. The initial value is 0 (every lane starts at Left,
+	// matching Core).
+	DirRight() uint64
+	// Compute executes the Compute phase on all lanes at once.
+	Compute(view LaneView)
+}
+
+// LaneAlgorithm is implemented by algorithms that provide a bit-parallel
+// core alongside the scalar one. The lockstep engine only accepts
+// algorithms implementing it; everything else runs on the scalar path.
+type LaneAlgorithm interface {
+	Algorithm
+	// NewLaneCore returns a lane core with every lane in the algorithm's
+	// initial state.
+	NewLaneCore() LaneCore
+}

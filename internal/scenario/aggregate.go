@@ -41,6 +41,7 @@ type Aggregate struct {
 	families   []FamilyStats
 	sweep      *metrics.Sweep
 	violations []Verdict
+	millis     int64
 }
 
 // NewAggregate creates the aggregation state for the campaign described
@@ -265,6 +266,12 @@ func (a *Aggregate) WriteReport(w io.Writer) error {
 	return err
 }
 
+// SetWallMillis records the campaign's measured wall time for the JSON
+// document (pefscenarios -timings). Timings are observational: they never
+// enter reports or checkpoints, so byte-identity guarantees are unaffected
+// unless the producer opts in.
+func (a *Aggregate) SetWallMillis(ms int64) { a.millis = ms }
+
 // jsonCampaign is the versioned machine-readable campaign document (the
 // BENCH_*.json payload of scenario sweeps). It deliberately omits the
 // worker count so reports are byte-identical for any -workers value.
@@ -279,6 +286,11 @@ type jsonCampaign struct {
 	Families   []FamilyStats       `json:"families"`
 	Scalars    []metrics.ScalarRow `json:"scalars"`
 	Violations []Verdict           `json:"violations,omitempty"`
+	// Millis is the campaign's measured wall time; zero (omitted) unless
+	// the producer recorded one (pefscenarios -timings). It is the one
+	// field that varies run to run: strip it before byte-comparing
+	// documents, or leave it unset.
+	Millis int64 `json:"millis,omitempty"`
 }
 
 // WriteJSON renders the versioned campaign document from the aggregate.
@@ -293,6 +305,7 @@ func (a *Aggregate) WriteJSON(w io.Writer) error {
 		Families:   a.families,
 		Scalars:    a.sweep.ScalarRows(),
 		Violations: a.violations,
+		Millis:     a.millis,
 	}
 	if doc.Total > 0 {
 		doc.OKRate = float64(doc.OK) / float64(doc.Total)

@@ -50,6 +50,21 @@ type CampaignConfig struct {
 	// independent of the worker count. On cancellation only the executed
 	// prefix is streamed; consume Campaign.Verdicts for everything.
 	OnVerdict func(Verdict)
+	// DisableLockstep forces every scenario onto the scalar oracle — the
+	// escape hatch for the bit-parallel lane engine. Off (the default),
+	// shape-aligned eligible scenarios advance up to 64 seeds per word;
+	// verdicts and reports are byte-identical either way.
+	DisableLockstep bool
+	// LaneWidth is the number of consecutive scenarios batched into one
+	// pool job, within which shape-aligned runs share lockstep engine
+	// instances. Values < 1 mean 1024 — wide enough that sampled shapes
+	// recur tens of times per block, which is what amortizes the engine's
+	// per-round circuit (64-scenario blocks of a diverse sampler average
+	// one to two lanes per shape and gain nothing). Narrower widths give
+	// finer work granularity for many-worker campaigns at the cost of lane
+	// packing. Ignored when DisableLockstep is set (every job is then a
+	// single scenario).
+	LaneWidth int
 }
 
 // registry resolves the effective registry of the config.
@@ -110,6 +125,15 @@ func (cfg CampaignConfig) resolved() (CampaignConfig, error) {
 		// An empty shard would checkpoint a [0, 0) block, which is
 		// indistinguishable from a pre-shard whole-campaign checkpoint.
 		return cfg, fmt.Errorf("scenario: %d shards for %d scenarios (every shard must be non-empty)", cfg.ShardCount, total)
+	}
+	if cfg.LaneWidth < 0 {
+		return cfg, fmt.Errorf("scenario: negative lane width %d", cfg.LaneWidth)
+	}
+	if cfg.LaneWidth == 0 {
+		cfg.LaneWidth = 1024
+	}
+	if cfg.DisableLockstep {
+		cfg.LaneWidth = 1
 	}
 	return cfg, nil
 }
@@ -233,48 +257,85 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 			stream.next() // replay the sampler past the skipped prefix
 		}
 
+		// Jobs are blocks of LaneWidth consecutive specs of the canonical
+		// stream (1 when lockstep is disabled): the block is the unit the
+		// lane engine packs seed lanes from, and flattening block verdicts
+		// in job order reproduces the canonical per-spec stream exactly.
+		total := end - from
+		width := rcfg.LaneWidth
+		jobs := (total + width - 1) / width
+		blockLen := func(i int) int {
+			if i == jobs-1 {
+				return total - i*width
+			}
+			return width
+		}
 		window := campaignWindow(rcfg.Workers)
-		ring := make([]Spec, window)
+		ring := make([][]Spec, window)
+		for i := range ring {
+			ring[i] = make([]Spec, 0, width)
+		}
 		fed := 0
-		for item := range harness.StreamPool(ctx, harness.PoolConfig[Verdict]{
-			Total:   end - from,
+		for item := range harness.StreamPool(ctx, harness.PoolConfig[[]Verdict]{
+			Total:   jobs,
 			Workers: rcfg.Workers,
 			Window:  window,
-			// Feed materializes spec i into its ring slot right before
-			// dispatch; the pool guarantees Feed(i) happens-before Run(i)
-			// and that the slot is not reused until job i was yielded.
+			// Feed materializes job i's spec block into its ring slot right
+			// before dispatch; the pool guarantees Feed(i) happens-before
+			// Run(i) and that the slot is not reused until job i was yielded.
 			Feed: func(i int) {
-				ring[i%window] = stream.next()
+				block := ring[i%window][:0]
+				for j := 0; j < blockLen(i); j++ {
+					block = append(block, stream.next())
+				}
+				ring[i%window] = block
 				fed = i + 1
 			},
-			Run: func(i int) Verdict {
-				s := ring[i%window]
-				v, rerr := RunWith(ctx, s, RunOptions{Registry: reg})
-				if rerr != nil && v.Err == "" {
-					v.Err = rerr.Error()
-					v.OK = false
+			Run: func(i int) []Verdict {
+				block := ring[i%window]
+				if rcfg.DisableLockstep {
+					vs := make([]Verdict, len(block))
+					for j, s := range block {
+						v, rerr := RunWith(ctx, s, RunOptions{Registry: reg})
+						if rerr != nil && v.Err == "" {
+							v.Err = rerr.Error()
+							v.OK = false
+						}
+						vs[j] = v
+					}
+					return vs
 				}
-				return v
+				return RunBlock(ctx, block, RunOptions{Registry: reg})
 			},
 			// Placeholder runs after the dispatcher has exited (the pool
 			// orders it after close(out)), so continuing the sampler for
 			// never-fed indices is race-free.
-			Placeholder: func(i int) Verdict {
-				var s Spec
+			Placeholder: func(i int) []Verdict {
+				var block []Spec
 				if i < fed {
-					s = ring[i%window]
+					block = ring[i%window]
 				} else {
-					s = stream.next()
+					for j := 0; j < blockLen(i); j++ {
+						block = append(block, stream.next())
+					}
 				}
-				return Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, Outcome: "error", CoverTime: -1}
+				vs := make([]Verdict, len(block))
+				for j, s := range block {
+					vs[j] = Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, Outcome: "error", CoverTime: -1}
+				}
+				return vs
 			},
-			Cancelled: func(_ int, v Verdict, err error) Verdict {
-				v.Err = fmt.Sprintf("scenario cancelled before running: %v", err)
-				return v
+			Cancelled: func(_ int, vs []Verdict, err error) []Verdict {
+				for j := range vs {
+					vs[j].Err = fmt.Sprintf("scenario cancelled before running: %v", err)
+				}
+				return vs
 			},
 		}) {
-			if !yield(item.R, item.Err) {
-				return
+			for _, v := range item.R {
+				if !yield(v, item.Err) {
+					return
+				}
 			}
 		}
 	}

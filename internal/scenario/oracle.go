@@ -198,8 +198,6 @@ func Run(s Spec) Verdict {
 // already measured. Predicate violations are not errors: they come back
 // as OK=false verdicts.
 func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
-	reg := o.registry()
-	v = Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, CoverTime: -1, Outcome: "error"}
 	defer func() {
 		if r := recover(); r != nil {
 			v.Err = fmt.Sprintf("panic: %v", r)
@@ -207,44 +205,11 @@ func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 			v.OK = false
 		}
 	}()
-	if v.Expect == "" {
-		// Deriving the expectation requires a registered family — an
-		// unregistered name is a loud error here, never a silent
-		// fall-through to report-only. The one exception is an injected
-		// Dynamics: its family is documented as a verdict label only, so
-		// an unregistered label falls back to the family-independent
-		// algorithm-threshold rule.
-		exp, eerr := reg.Expectation(s)
-		if eerr != nil {
-			if o.Dynamics == nil {
-				v.Err = eerr.Error()
-				return v, eerr
-			}
-			exp = algorithmExpectation(s)
-		}
-		v.Expect = exp
+	v, res, err := prepareRun(s, o)
+	if err != nil {
+		return v, err
 	}
-	if verr := validateForRun(s, o); verr != nil {
-		v.Err = verr.Error()
-		return v, verr
-	}
-	prop, ok := reg.Property(v.Expect)
-	if !ok {
-		perr := fmt.Errorf("scenario: unknown expectation %q (registered properties: %v)", v.Expect, reg.PropertyNames())
-		v.Err = perr.Error()
-		return v, perr
-	}
-	// validateForRun established the family is registered except under a
-	// Dynamics override, where an absent (label-only) family leaves the
-	// zero descriptor: no pinned placements, no confinement limit.
-	fam, _ := reg.Family(s.Family)
-	alg := o.Algorithm
-	if alg == nil {
-		if alg, err = reg.Algorithm(s.Algorithm); err != nil {
-			v.Err = err.Error()
-			return v, err
-		}
-	}
+	reg, fam, alg := res.reg, res.fam, res.alg
 	dyn := o.Dynamics
 	if dyn == nil {
 		if dyn, err = fam.build(s); err != nil {
@@ -295,15 +260,87 @@ func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 	executed := sim.Now()
 	sim.Release()
 	rep := vt.Report()
-	v.Covered, v.CoverTime, v.MaxGap = rep.Covered, rep.CoverTime, rep.MaxGap
-	v.Distinct = ct.Distinct()
 	if cancelled {
 		err := ctx.Err()
+		v.Covered, v.CoverTime, v.MaxGap = rep.Covered, rep.CoverTime, rep.MaxGap
+		v.Distinct = ct.Distinct()
 		v.Outcome = "cancelled"
 		v.Err = fmt.Sprintf("cancelled after %d of %d rounds: %v", executed, s.Horizon, err)
 		v.OK = false
 		return v, err
 	}
+	classify(&v, s, res, rep, ct.Distinct())
+	return v, nil
+}
+
+// preparedRun is everything the oracle resolves for a spec before
+// execution: the registered descriptors both the scalar and the lockstep
+// paths judge the run by.
+type preparedRun struct {
+	reg  *Registry
+	fam  FamilyDescriptor
+	prop Property
+	alg  robot.Algorithm
+}
+
+// prepareRun is the shared pre-execution half of the oracle: it derives
+// the enforced expectation, validates the spec against the overrides, and
+// resolves the property, family and algorithm. On failure the returned
+// verdict is the error verdict RunWith would produce.
+func prepareRun(s Spec, o RunOptions) (Verdict, preparedRun, error) {
+	reg := o.registry()
+	v := Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, CoverTime: -1, Outcome: "error"}
+	res := preparedRun{reg: reg}
+	if v.Expect == "" {
+		// Deriving the expectation requires a registered family — an
+		// unregistered name is a loud error here, never a silent
+		// fall-through to report-only. The one exception is an injected
+		// Dynamics: its family is documented as a verdict label only, so
+		// an unregistered label falls back to the family-independent
+		// algorithm-threshold rule.
+		exp, eerr := reg.Expectation(s)
+		if eerr != nil {
+			if o.Dynamics == nil {
+				v.Err = eerr.Error()
+				return v, res, eerr
+			}
+			exp = algorithmExpectation(s)
+		}
+		v.Expect = exp
+	}
+	if verr := validateForRun(s, o); verr != nil {
+		v.Err = verr.Error()
+		return v, res, verr
+	}
+	prop, ok := reg.Property(v.Expect)
+	if !ok {
+		perr := fmt.Errorf("scenario: unknown expectation %q (registered properties: %v)", v.Expect, reg.PropertyNames())
+		v.Err = perr.Error()
+		return v, res, perr
+	}
+	res.prop = prop
+	// validateForRun established the family is registered except under a
+	// Dynamics override, where an absent (label-only) family leaves the
+	// zero descriptor: no pinned placements, no confinement limit.
+	res.fam, _ = reg.Family(s.Family)
+	res.alg = o.Algorithm
+	if res.alg == nil {
+		alg, aerr := reg.Algorithm(s.Algorithm)
+		if aerr != nil {
+			v.Err = aerr.Error()
+			return v, res, aerr
+		}
+		res.alg = alg
+	}
+	return v, res, nil
+}
+
+// classify is the shared post-execution half of the oracle: it fills the
+// verdict's metrics from the exploration report and judges the run by the
+// registered property — identically for the scalar and lockstep engines.
+func classify(v *Verdict, s Spec, res preparedRun, rep spec.ExplorationReport, distinct int) {
+	v.Covered, v.CoverTime, v.MaxGap = rep.Covered, rep.CoverTime, rep.MaxGap
+	v.Distinct = distinct
 
 	exploreMsg := rep.ExploreViolation(2, s.Horizon/2)
 	v.Outcome = "partial"
@@ -311,19 +348,18 @@ func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 		v.Outcome = "explored"
 	}
 
-	res := prop.Check(PropertyInput{
+	pr := res.prop.Check(PropertyInput{
 		Spec:             s,
 		Covered:          v.Covered,
 		CoverTime:        v.CoverTime,
 		MaxGap:           v.MaxGap,
 		Distinct:         v.Distinct,
 		ExploreViolation: exploreMsg,
-		ConfineLimit:     fam.ConfineLimit,
+		ConfineLimit:     res.fam.ConfineLimit,
 	})
-	v.OK = res.OK
-	if res.Outcome != "" {
-		v.Outcome = res.Outcome
+	v.OK = pr.OK
+	if pr.Outcome != "" {
+		v.Outcome = pr.Outcome
 	}
-	v.Violation = res.Violation
-	return v, nil
+	v.Violation = pr.Violation
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package spec
+
+const raceEnabled = false

@@ -110,6 +110,44 @@ func Run(ctx context.Context, s Scenario, options ...Option) (ScenarioVerdict, e
 	return scenario.RunWith(ctx, s, set.opts)
 }
 
+// RunSeeds executes one Scenario shape across many seeds — the
+// seed-batched entry point of the bit-parallel lockstep engine. The
+// scenario runs once per seed (its Seed field is replaced by each
+// element), and eligible runs — registered oblivious dynamics on a ring
+// of at most 64 nodes, an algorithm with a bit-parallel core, no
+// imperative overrides — advance up to 64 seeds per machine word in one
+// engine instance. Ineligible runs fall back to the scalar engine.
+// Either way verdict i is byte-identical to Run with Seed = seeds[i].
+//
+// Per-seed failures (invalid specs, panics) come back as error verdicts,
+// like campaign workers record them; the returned error is non-nil only
+// when ctx was cancelled, in which case verdicts of unfinished seeds
+// carry Outcome "cancelled".
+func RunSeeds(ctx context.Context, s Scenario, seeds []uint64, options ...Option) ([]ScenarioVerdict, error) {
+	var set runSettings
+	for _, o := range options {
+		o(&set)
+	}
+	specs := make([]scenario.Spec, len(seeds))
+	for i, seed := range seeds {
+		sp := s
+		sp.Seed = seed
+		specs[i] = sp
+	}
+	if set.traceSink != nil {
+		// Observers force the scalar path, which runs seeds in order, so
+		// the trace is the seeds' round streams concatenated.
+		logger := trace.NewJSONLogger(set.traceSink)
+		set.opts.Observers = append(set.opts.Observers, logger)
+		vs := scenario.RunBlock(ctx, specs, set.opts)
+		if err := logger.Err(); err != nil {
+			return vs, err
+		}
+		return vs, ctx.Err()
+	}
+	return scenario.RunBlock(ctx, specs, set.opts), ctx.Err()
+}
+
 // CampaignAggregate is the online campaign aggregation state consumed by
 // StreamCampaign loops: Add verdicts as they stream, render reports that
 // are byte-identical to RunCampaign's, snapshot a Checkpoint at any time.
