@@ -8,9 +8,13 @@
 //
 // When both arguments are scenario-campaign documents (pefscenarios -json)
 // instead, the diff switches to campaign mode: it compares the oracle OK
-// rates and — when both documents carry -timings wall times — the campaign
-// wall time, under the same gate. CI uses this to require the lockstep
-// engine's campaign to run no slower than the scalar engine's.
+// rates, the margin distributions (coverSlack, gapHeadroom,
+// confineHeadroom — how much slack each family kept against its
+// predicate; a "tighter" flag warns of drift toward the boundary before
+// any verdict flips), and — when both documents carry -timings wall
+// times — the campaign wall time, under the same gate. CI uses this to
+// require the lockstep engine's campaign to run no slower than the
+// scalar engine's.
 //
 //	pefbenchdiff BENCH_0002.json BENCH_0003.json
 //	pefbenchdiff -fail-on-regress 0.0 OLD.json NEW.json
@@ -110,6 +114,20 @@ type campaignFile struct {
 	// Millis is the campaign wall time; zero unless the document was
 	// captured with -timings.
 	Millis int64 `json:"millis"`
+	// Scalars carries the per-family scalar distributions, including the
+	// oracle's margin instrumentation (coverSlack, gapHeadroom,
+	// confineHeadroom) — how close each family ran to its predicate's
+	// edge.
+	Scalars []metrics.ScalarRow `json:"scalars"`
+}
+
+// marginMetrics names the oracle's margin distributions: the slack each
+// verdict had against its predicate. Shrinking margins flag a sweep
+// drifting toward the predicate boundary before any verdict flips.
+var marginMetrics = map[string]bool{
+	"coverSlack":      true,
+	"gapHeadroom":     true,
+	"confineHeadroom": true,
 }
 
 // document is one parsed input file: an experiment trajectory (Jobs
@@ -358,6 +376,9 @@ func campaignDiff(stdout io.Writer, oldPath, newPath string, oldC, newC campaign
 				fmt.Sprintf("wall time %dms → %dms (%.2fx)", oldC.Millis, newC.Millis, ratio))
 		}
 	}
+	if err := marginDiff(stdout, oldC, newC); err != nil {
+		return err
+	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(stdout, "\n---\n%d regression(s) beyond threshold %.2f:\n", len(regressions), failOn)
 		for _, r := range regressions {
@@ -367,6 +388,67 @@ func campaignDiff(stdout io.Writer, oldPath, newPath string, oldC, newC campaign
 	}
 	fmt.Fprintf(stdout, "\n---\nno regressions%s.\n", gateSuffix(failOn))
 	return nil
+}
+
+// marginDiff renders the margin-distribution comparison of campaign
+// mode: per (family, margin metric), the old and new summary — how much
+// slack the sweep kept against the paper's predicate bounds. Margins are
+// diagnostic (a shrinking mean flags drift toward the predicate boundary
+// before any verdict flips), so this section never joins the regression
+// gate; the OK rate does the gating.
+func marginDiff(stdout io.Writer, oldC, newC campaignFile) error {
+	type key struct{ id, metric string }
+	filter := func(rows []metrics.ScalarRow) (order []key, byKey map[key]metrics.ScalarRow) {
+		byKey = make(map[key]metrics.ScalarRow)
+		for _, r := range rows {
+			if !marginMetrics[r.Metric] {
+				continue
+			}
+			k := key{r.ID, r.Metric}
+			if _, ok := byKey[k]; !ok {
+				order = append(order, k)
+			}
+			byKey[k] = r
+		}
+		return order, byKey
+	}
+	oldOrder, oldRows := filter(oldC.Scalars)
+	newOrder, newRows := filter(newC.Scalars)
+	if len(oldRows) == 0 && len(newRows) == 0 {
+		return nil
+	}
+	order := append([]key(nil), oldOrder...)
+	for _, k := range newOrder {
+		if _, ok := oldRows[k]; !ok {
+			order = append(order, k)
+		}
+	}
+
+	fmt.Fprintf(stdout, "\n## Predicate margins (min / mean / median / max)\n\n")
+	mt := metrics.NewTable("family", "margin", "old", "new", "mean delta", "flag")
+	summary := func(r metrics.ScalarRow) string {
+		return fmt.Sprintf("%d / %.1f / %.1f / %d (n=%d)", r.Min, r.Mean, r.Median, r.Max, r.Count)
+	}
+	for _, k := range order {
+		o, hasOld := oldRows[k]
+		n, hasNew := newRows[k]
+		switch {
+		case !hasNew:
+			mt.AddRow(k.id, k.metric, summary(o), "-", "-", "gone")
+		case !hasOld:
+			mt.AddRow(k.id, k.metric, "-", summary(n), "-", "new")
+		default:
+			delta := n.Mean - o.Mean
+			flag := "="
+			if delta < 0 {
+				flag = "tighter"
+			} else if delta > 0 {
+				flag = "wider"
+			}
+			mt.AddRow(k.id, k.metric, summary(o), summary(n), fmt.Sprintf("%+.1f", delta), flag)
+		}
+	}
+	return mt.Render(stdout)
 }
 
 // gateSuffix annotates the verdict with the active gate, if any.

@@ -143,6 +143,58 @@ func TestCampaignDiff(t *testing.T) {
 	}
 }
 
+// TestCampaignMarginDiff checks the margin-distribution section of
+// campaign mode: margin metrics (coverSlack, gapHeadroom,
+// confineHeadroom) render per (family, metric) with tighter/wider flags,
+// non-margin scalars stay out, and margins never trip the gate — they
+// are drift diagnostics, not pass/fail signals.
+func TestCampaignMarginDiff(t *testing.T) {
+	const oldM = `{
+	  "version": 1, "generator": "uniform", "count": 200, "seeds": [1],
+	  "total": 200, "ok": 200, "okRate": 1.0, "families": [],
+	  "scalars": [
+	    {"id": "bounded", "metric": "coverTime", "count": 80, "min": 3, "mean": 9.0, "median": 8.0, "max": 30},
+	    {"id": "bounded", "metric": "coverSlack", "count": 80, "min": 4, "mean": 51.0, "median": 50.0, "max": 97},
+	    {"id": "eventual", "metric": "gapHeadroom", "count": 60, "min": 1, "mean": 20.0, "median": 19.0, "max": 44},
+	    {"id": "gone-fam", "metric": "confineHeadroom", "count": 10, "min": 1, "mean": 1.5, "median": 1.0, "max": 2}
+	  ]
+	}`
+	const newM = `{
+	  "version": 1, "generator": "uniform", "count": 200, "seeds": [1],
+	  "total": 200, "ok": 200, "okRate": 1.0, "families": [],
+	  "scalars": [
+	    {"id": "bounded", "metric": "coverSlack", "count": 80, "min": 2, "mean": 44.0, "median": 43.0, "max": 95},
+	    {"id": "eventual", "metric": "gapHeadroom", "count": 60, "min": 1, "mean": 23.0, "median": 22.0, "max": 48}
+	  ]
+	}`
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", oldM)
+	newP := write(t, dir, "new.json", newM)
+
+	var b strings.Builder
+	if err := run([]string{"-fail-on-regress", "0", oldP, newP}, &b); err != nil {
+		t.Fatalf("tightening margins must not trip the gate: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Predicate margins",
+		"coverSlack",
+		"4 / 51.0 / 50.0 / 97 (n=80)",
+		"2 / 44.0 / 43.0 / 95 (n=80)",
+		"-7.0",
+		"tighter",
+		"wider",
+		"gone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("margin diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "coverTime") {
+		t.Fatalf("non-margin scalar leaked into the margin section:\n%s", out)
+	}
+}
+
 func TestMixedDocumentKindsRejected(t *testing.T) {
 	dir := t.TempDir()
 	trajP := write(t, dir, "traj.json", oldDoc)

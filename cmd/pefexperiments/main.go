@@ -32,6 +32,16 @@
 //	            scalar escape hatch for bisecting a suspected engine
 //	            divergence, mirroring pefscenarios -lockstep=false.
 //	-quick      reduced horizons and sweeps
+//	-progress N print a progress line to stderr every N retired jobs
+//	            (stderr only: stdout stays byte-identical)
+//	-telemetry-addr A
+//	            serve the live pool telemetry (JSON under /metrics) and
+//	            net/http/pprof on A (":0" picks a free port; the chosen
+//	            address is printed to stderr)
+//	-trace-events P
+//	            write sweep lifecycle events (sweep-start, job-retired,
+//	            sweep-end) to P as JSONL, with monotonic sequence numbers
+//	            and no wall clocks — byte-identical for any worker count
 //
 // The process exits non-zero when any (experiment, seed) job errors or
 // fails to reproduce the paper's prediction, in every mode — single run,
@@ -48,16 +58,17 @@ import (
 
 	"pef/internal/harness"
 	"pef/internal/metrics"
+	"pef/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pefexperiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pefexperiments", flag.ContinueOnError)
 	var (
 		seed     = fs.Uint64("seed", 1, "base experiment seed")
@@ -69,12 +80,18 @@ func run(args []string, stdout io.Writer) error {
 		shard    = fs.Bool("shard", true, "split heavy ring-size sweeps into per-ring-size jobs (-shard=false for coarse rows)")
 		lockstep = fs.Bool("lockstep", true, "exercise the bit-parallel lockstep engine where experiments use it (-lockstep=false for the scalar escape hatch)")
 		only     = fs.String("only", "", "run a single experiment by ID (e.g. E-F2)")
+		progress = fs.Int("progress", 0, "print a progress line to stderr every N retired jobs")
+		telAddr  = fs.String("telemetry-addr", "", "serve the live pool telemetry and pprof on this address (\":0\" picks a free port)")
+		traceFn  = fs.String("trace-events", "", "write sweep lifecycle events to this path as JSONL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
+	if *progress < 0 {
+		return fmt.Errorf("-progress must be >= 0, got %d", *progress)
 	}
 
 	exps := harness.All()
@@ -96,6 +113,47 @@ func run(args []string, stdout io.Writer) error {
 		DisableLockstep: !*lockstep,
 	}
 
+	// Observability wiring. Nothing here writes to stdout, so the report
+	// and -json bytes are identical with these flags on or off (the CI
+	// trajectory comparison depends on that).
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Metrics = harness.NewPoolMetrics(reg, "pool")
+		srv, err := telemetry.Serve(*telAddr, reg.Snapshot)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+	var tracer *telemetry.Tracer
+	if *traceFn != "" {
+		f, err := os.Create(*traceFn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = telemetry.NewTracer(f)
+	}
+	// observe sees every retired job in canonical order (the OnResult
+	// sequence is worker-count independent), feeding -progress and the
+	// event trace in every mode.
+	retired := 0
+	var observe func(harness.JobResult)
+	if *progress > 0 || tracer != nil {
+		observe = func(j harness.JobResult) {
+			retired++
+			tracer.Emit("job-retired", map[string]any{"id": j.ID, "seed": j.Seed, "pass": j.Passed()})
+			if *progress > 0 && retired%*progress == 0 {
+				fmt.Fprintf(stderr, "progress: %d jobs retired\n", retired)
+			}
+		}
+		cfg.OnResult = observe
+	}
+	tracer.Emit("sweep-start", map[string]any{
+		"experiments": len(exps), "seeds": len(sweep), "quick": *quick, "shard": *shard,
+	})
+
 	var jobs []harness.JobResult
 	var err error
 	switch {
@@ -112,6 +170,9 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "# Experiment report (seed=%d, quick=%t)\n", *seed, *quick)
 		var werr error
 		cfg.OnResult = func(j harness.JobResult) {
+			if observe != nil {
+				observe(j)
+			}
 			if werr != nil || j.Err != nil {
 				return
 			}
@@ -136,6 +197,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	tracer.Emit("sweep-end", map[string]any{"passes": harness.Passes(jobs), "total": len(jobs)})
+	if terr := tracer.Err(); terr != nil {
+		return terr
+	}
 	return failure(jobs)
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
 	render := func(extra ...string) string {
 		var buf bytes.Buffer
 		args := append([]string{"-quick", "-seeds", "8"}, extra...)
-		if err := run(args, &buf); err != nil {
+		if err := run(args, &buf, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		return buf.String()
@@ -38,7 +39,7 @@ func TestJSONByteIdenticalAcrossWorkers(t *testing.T) {
 	render := func(workers string) string {
 		var buf bytes.Buffer
 		args := []string{"-quick", "-seeds", "4", "-json", "-only", "E-T1.R5", "-workers", workers}
-		if err := run(args, &buf); err != nil {
+		if err := run(args, &buf, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		return buf.String()
@@ -61,7 +62,7 @@ func TestJSONByteIdenticalAcrossWorkers(t *testing.T) {
 
 func TestClassicSingleSeedReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-quick"}, &buf); err != nil {
+	if err := run([]string{"-quick"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -79,10 +80,10 @@ func TestClassicSingleSeedReport(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-only", "bogus"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-only", "bogus"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("unknown -only must error")
 	}
-	if err := run([]string{"-seeds", "0"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-seeds", "0"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("-seeds 0 must error")
 	}
 }
@@ -112,7 +113,7 @@ func TestShardDefaultOn(t *testing.T) {
 	render := func(extra ...string) string {
 		var buf bytes.Buffer
 		args := append([]string{"-quick", "-seeds", "2", "-only", "E-T1.R1"}, extra...)
-		if err := run(args, &buf); err != nil {
+		if err := run(args, &buf, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		return buf.String()

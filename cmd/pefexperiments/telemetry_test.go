@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObservabilityFlagsKeepStdout pins the CI trajectory contract:
+// -progress, -trace-events and -telemetry-addr never change a stdout
+// byte, so BENCH_*.json captures stay comparable with them enabled.
+func TestObservabilityFlagsKeepStdout(t *testing.T) {
+	base := []string{"-quick", "-seeds", "2", "-json", "-only", "E-T1.R5"}
+	var plain bytes.Buffer
+	if err := run(base, &plain, io.Discard); err != nil {
+		t.Fatalf("run(%v): %v", base, err)
+	}
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	instrumented := append([]string{
+		"-progress", "1", "-trace-events", trace, "-telemetry-addr", "127.0.0.1:0",
+	}, base...)
+	var out, errOut bytes.Buffer
+	if err := run(instrumented, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", instrumented, err)
+	}
+	if plain.String() != out.String() {
+		t.Fatalf("observability flags changed stdout:\n--- plain ---\n%s\n--- instrumented ---\n%s",
+			plain.String(), out.String())
+	}
+	if !strings.Contains(errOut.String(), "progress: 1 jobs retired") {
+		t.Errorf("stderr missing progress lines:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "telemetry: serving http://") {
+		t.Errorf("stderr missing telemetry address line:\n%s", errOut.String())
+	}
+}
+
+// TestTraceEventsDeterministicAcrossWorkers checks that the sweep's event
+// trace — job retirement order included — is byte-identical for any
+// worker count, and brackets the sweep with start/end events.
+func TestTraceEventsDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers string) string {
+		trace := filepath.Join(t.TempDir(), "trace.jsonl")
+		args := []string{"-quick", "-seeds", "4", "-only", "E-T1.R5",
+			"-workers", workers, "-trace-events", trace}
+		if err := run(args, io.Discard, io.Discard); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	seq := render("1")
+	if par := render("8"); seq != par {
+		t.Fatalf("trace differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+	lines := strings.Split(strings.TrimSuffix(seq, "\n"), "\n")
+	if !strings.Contains(lines[0], `"event":"sweep-start"`) {
+		t.Errorf("first event is not sweep-start: %s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"event":"sweep-end"`) {
+		t.Errorf("last event is not sweep-end: %s", lines[len(lines)-1])
+	}
+	retired := 0
+	for _, line := range lines {
+		if strings.Contains(line, `"event":"job-retired"`) {
+			retired++
+		}
+	}
+	if retired != 4 {
+		t.Errorf("expected 4 job-retired events, got %d:\n%s", retired, seq)
+	}
+}

@@ -74,6 +74,20 @@
 //	                 exit with the usual violation status
 //	-minimize        shrink each violation to a minimal reproducer and
 //	                 append it to the report (report mode only)
+//	-progress N      print a progress line to stderr every N aggregated
+//	                 scenarios (stderr only: stdout stays byte-identical)
+//	-telemetry-addr A
+//	                 serve the live telemetry snapshot (JSON under
+//	                 /metrics) and net/http/pprof on A (":0" picks a free
+//	                 port; the chosen address is printed to stderr)
+//	-trace-events P  append structured campaign lifecycle events
+//	                 (campaign-start, block-retired, checkpoint-written,
+//	                 campaign-end) to P as JSONL; the trace carries
+//	                 monotonic sequence numbers and no wall clocks, so it
+//	                 is byte-identical for any worker count
+//
+// The observability flags never change stdout: reports, JSON documents
+// and checkpoints are byte-identical with them on or off.
 //
 // The process exits non-zero when any scenario violates its predicate or
 // errors, so CI can trust the exit code.
@@ -89,16 +103,17 @@ import (
 
 	"pef/internal/harness"
 	"pef/internal/scenario"
+	"pef/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pefscenarios:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pefscenarios", flag.ContinueOnError)
 	var (
 		count      = fs.Int("count", 100, "scenarios generated per seed")
@@ -121,6 +136,9 @@ func run(args []string, stdout io.Writer) error {
 		shardCnt   = fs.Int("shard-count", 0, "number of contiguous shards the campaign is split into")
 		merge      = fs.Bool("merge", false, "merge completed per-shard checkpoint files (positional args) into one report")
 		minimize   = fs.Bool("minimize", false, "append a minimal reproducer per violation (report mode only)")
+		progress   = fs.Int("progress", 0, "print a progress line to stderr every N aggregated scenarios")
+		telAddr    = fs.String("telemetry-addr", "", "serve the live telemetry snapshot and pprof on this address (\":0\" picks a free port)")
+		traceFile  = fs.String("trace-events", "", "write campaign lifecycle events to this path as JSONL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,6 +175,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *minimize && *jsonOut {
 		return fmt.Errorf("-minimize applies to the report mode, not -json")
+	}
+	if *progress < 0 {
+		return fmt.Errorf("-progress must be >= 0, got %d", *progress)
 	}
 
 	// When resuming, the campaign identity comes from the checkpoint;
@@ -195,6 +216,31 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Gen = scenario.GenConfig{MaxRing: *maxRing, Families: *families}
 	}
 
+	// Observability wiring. None of it touches stdout: telemetry and the
+	// event trace are read-only taps, so reports, JSON documents and
+	// checkpoints stay byte-identical with these flags on or off.
+	var tel *scenario.Telemetry
+	if *telAddr != "" {
+		tel = scenario.NewTelemetry()
+		cfg.Telemetry = tel
+		srv, err := telemetry.Serve(*telAddr, tel.Snapshot)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = telemetry.NewTracer(f)
+		cfg.Trace = tracer
+	}
+
 	agg, err := scenario.NewAggregate(cfg)
 	if err != nil {
 		return err
@@ -208,10 +254,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		agg.Add(v)
 		ran := agg.Start() + agg.Done() - start
+		if *progress > 0 && ran%*progress == 0 {
+			fmt.Fprintf(stderr, "progress: %d/%d scenarios, %d violations\n",
+				agg.Done(), agg.End()-agg.Start(), len(agg.Violations()))
+		}
 		if *ckptEvery > 0 && ran%*ckptEvery == 0 {
 			if err := writeRotatingCheckpoint(*checkpoint, agg); err != nil {
 				return err
 			}
+			tracer.Emit("checkpoint-written", map[string]any{"kind": "rotating", "done": agg.Done()})
 		}
 		if *haltAfter > 0 && ran >= *haltAfter {
 			halted = true
@@ -226,8 +277,13 @@ func run(args []string, stdout io.Writer) error {
 		if err := os.WriteFile(*checkpoint, data, 0o644); err != nil {
 			return err
 		}
+		tracer.Emit("checkpoint-written", map[string]any{"kind": "final", "done": agg.Done()})
 	}
 	if halted {
+		tracer.Emit("campaign-end", map[string]any{"done": agg.Done(), "halted": true})
+		if err := tracer.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "halted after %d of %d scenarios; resume with -resume %s\n",
 			agg.Done(), agg.End()-agg.Start(), *checkpoint)
 		return nil
@@ -236,6 +292,13 @@ func run(args []string, stdout io.Writer) error {
 	elapsed := time.Since(began)
 	if *timings {
 		agg.SetWallMillis(elapsed.Milliseconds())
+	}
+	if tel != nil {
+		tel.Registry().Counter("campaign." + generatorName(cfg) + ".millis").Add(elapsed.Milliseconds())
+	}
+	tracer.Emit("campaign-end", map[string]any{"done": agg.Done(), "violations": len(agg.Violations())})
+	if err := tracer.Err(); err != nil {
+		return err
 	}
 	if *jsonOut {
 		if err := agg.WriteJSON(stdout); err != nil {
@@ -269,6 +332,20 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d of %d scenario(s) violate the paper's predicates", len(violations), agg.Done())
 	}
 	return nil
+}
+
+// generatorName resolves the campaign's generator label for the
+// campaign.<generator>.millis telemetry counter, mirroring the resolution
+// StreamCampaign performs (resume checkpoints win, default "uniform").
+func generatorName(cfg scenario.CampaignConfig) string {
+	switch {
+	case cfg.Generator != "":
+		return cfg.Generator
+	case cfg.Resume != nil && cfg.Resume.Generator != "":
+		return cfg.Resume.Generator
+	default:
+		return "uniform"
+	}
 }
 
 // writeList enumerates the extension registry: the generators plus every

@@ -41,13 +41,18 @@ type WordGraph interface {
 // in increasing t order per lane, so streaming (stateful) graphs observe
 // the same call sequence. Either way every lane's schedule is
 // bit-identical to its scalar run.
-func LaneColumns(graphs []EvolvingGraph, sets []ring.EdgeSet, active uint64, t int, cols []uint64) {
+//
+// The return value counts the active lanes that took the WordGraph fast
+// path this instant (the rest fell back to EdgesInto) — telemetry's
+// fast-path hit signal; callers that don't care simply drop it.
+func LaneColumns(graphs []EvolvingGraph, sets []ring.EdgeSet, active uint64, t int, cols []uint64) (wordLanes int) {
 	var m [64]uint64
 	for w := active; w != 0; w &= w - 1 {
 		l := bits.TrailingZeros64(w)
 		if wg, ok := graphs[l].(WordGraph); ok {
 			if word, ok := wg.EdgeWordAt(t); ok {
 				m[l] = word
+				wordLanes++
 				continue
 			}
 		}
@@ -58,6 +63,7 @@ func LaneColumns(graphs []EvolvingGraph, sets []ring.EdgeSet, active uint64, t i
 	for e := range cols {
 		cols[e] = m[e]
 	}
+	return wordLanes
 }
 
 // edgeMask returns the full presence word of an n-edge ring (n <= 64).

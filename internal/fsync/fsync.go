@@ -226,6 +226,11 @@ type Config struct {
 	// O(horizon) trace. Zero keeps full history for trace emission and
 	// checker replay.
 	RecordWindow int
+	// Metrics, when non-nil, receives engine counters (rounds simulated,
+	// pool traffic). Recording is flushed once per run at Release/Reset —
+	// never inside Step — so enabling it cannot perturb the hot path or
+	// any output byte.
+	Metrics *Metrics
 }
 
 // Observer receives one event per completed round.
@@ -280,6 +285,7 @@ type Simulator struct {
 	t         int
 	observers []Observer
 	recorded  *dyngraph.Recorded
+	metrics   *Metrics
 
 	// Steady-state scratch: reused by every Step, sized once per Reset.
 	before  Snapshot
@@ -306,6 +312,7 @@ func New(cfg Config) (*Simulator, error) {
 // like New; on error the simulator is left unusable until the next
 // successful Reset.
 func (s *Simulator) Reset(cfg Config) error {
+	s.flushMetrics() // a direct re-Reset still credits the finished run
 	if cfg.Algorithm == nil {
 		return fmt.Errorf("fsync: nil algorithm")
 	}
@@ -323,6 +330,7 @@ func (s *Simulator) Reset(cfg Config) error {
 	s.r = r
 	s.dyn = cfg.Dynamics
 	s.dynInto, _ = cfg.Dynamics.(InPlaceDynamics)
+	s.metrics = cfg.Metrics
 	s.t = 0
 	s.robots = resize(s.robots, k)
 	s.occ = resize(s.occ, r.Size())
@@ -393,6 +401,9 @@ func Acquire(cfg Config) (*Simulator, error) {
 		simPool.Put(s)
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Acquires.Inc()
+	}
 	return s, nil
 }
 
@@ -401,6 +412,10 @@ func Acquire(cfg Config) (*Simulator, error) {
 // fields that could pin large object graphs are dropped here; the scratch
 // slices are the point of the pool and stay.
 func (s *Simulator) Release() {
+	if s.metrics != nil {
+		s.metrics.Releases.Inc()
+	}
+	s.flushMetrics()
 	s.dyn = nil
 	s.dynInto = nil
 	s.recorded = nil
@@ -410,6 +425,18 @@ func (s *Simulator) Release() {
 		s.robots[i].core = nil
 	}
 	simPool.Put(s)
+}
+
+// flushMetrics credits the finished run's round count to the wired
+// Metrics and detaches them. Called from Release and from the top of
+// Reset (a direct re-Reset without Release still accounts its run);
+// idempotent because the metrics pointer is cleared on first flush.
+func (s *Simulator) flushMetrics() {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.Rounds.Add(int64(s.t))
+	s.metrics = nil
 }
 
 // Ring returns the underlying ring.

@@ -46,6 +46,11 @@ type LockstepConfig struct {
 	Algorithm robot.LaneAlgorithm
 	// Lanes holds 1 to 64 seed lanes.
 	Lanes []LaneRun
+	// Metrics, when non-nil, receives engine counters (word steps,
+	// lane·rounds, word-graph fast-path hits, pool traffic). Step only
+	// accumulates plain ints; the atomics are touched once per run at
+	// Release/Reset, so the hot path stays 0 allocs/op and contention-free.
+	Metrics *Metrics
 }
 
 // LockstepSimulator executes synchronous rounds for up to 64 lanes at
@@ -62,6 +67,13 @@ type LockstepSimulator struct {
 	cores    []robot.LaneCore         // per robot, shared across lanes
 	chirCW   []uint64                 // per robot: bit l = lane l is right-is-CW
 	graphs   []dyngraph.EvolvingGraph // per lane
+
+	// Run-local telemetry accumulators: plain ints bumped by Step and
+	// flushed to metrics once per run (Release or re-Reset).
+	metrics       *Metrics
+	statRounds    int // word steps executed
+	statLaneSteps int // active lanes summed over steps
+	statWordFast  int // lane-instants served by the WordGraph fast path
 
 	// Steady-state scratch, sized once per Reset.
 	sets []ring.EdgeSet // per lane materialization buffer
@@ -86,6 +98,7 @@ func NewLockstep(cfg LockstepConfig) (*LockstepSimulator, error) {
 // Reset reconfigures the simulator in place for a fresh run at time 0,
 // reusing its backing slices where shapes allow.
 func (ls *LockstepSimulator) Reset(cfg LockstepConfig) error {
+	ls.flushMetrics() // a direct re-Reset still credits the finished run
 	if cfg.Algorithm == nil {
 		return fmt.Errorf("fsync: nil lockstep algorithm")
 	}
@@ -106,6 +119,8 @@ func (ls *LockstepSimulator) Reset(cfg LockstepConfig) error {
 		return fmt.Errorf("fsync: %d robots on %d nodes violates k < n", k, n)
 	}
 	ls.r, ls.n, ls.k, ls.lanes = r, n, k, lanes
+	ls.metrics = cfg.Metrics
+	ls.statRounds, ls.statLaneSteps, ls.statWordFast = 0, 0, 0
 	ls.t = 0
 	ls.active = 0
 	ls.horizons = resize(ls.horizons, lanes)
@@ -189,12 +204,19 @@ func AcquireLockstep(cfg LockstepConfig) (*LockstepSimulator, error) {
 		lockstepPool.Put(ls)
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.LockstepAcquires.Inc()
+	}
 	return ls, nil
 }
 
 // Release returns the simulator to the pool. The caller must not use ls
 // (or the Occupancy slice it handed out) afterwards.
 func (ls *LockstepSimulator) Release() {
+	if ls.metrics != nil {
+		ls.metrics.LockstepReleases.Inc()
+	}
+	ls.flushMetrics()
 	for l := range ls.graphs {
 		ls.graphs[l] = nil
 	}
@@ -202,6 +224,20 @@ func (ls *LockstepSimulator) Release() {
 		ls.cores[r] = nil
 	}
 	lockstepPool.Put(ls)
+}
+
+// flushMetrics credits the run's accumulated step statistics to the
+// wired Metrics and detaches them; idempotent via the cleared pointer.
+func (ls *LockstepSimulator) flushMetrics() {
+	if ls.metrics == nil {
+		return
+	}
+	ls.metrics.LockstepRounds.Add(int64(ls.statRounds))
+	ls.metrics.LockstepLaneRounds.Add(int64(ls.statLaneSteps))
+	ls.metrics.WordFastLanes.Add(int64(ls.statWordFast))
+	ls.metrics.WordFallbackLanes.Add(int64(ls.statLaneSteps - ls.statWordFast))
+	ls.metrics = nil
+	ls.statRounds, ls.statLaneSteps, ls.statWordFast = 0, 0, 0
 }
 
 // Ring returns the underlying ring.
@@ -271,7 +307,10 @@ func (ls *LockstepSimulator) Step() uint64 {
 	// Materialize E_t of every active lane as per-edge lane columns. The
 	// per-lane EdgesInto calls are issued in increasing t order, exactly
 	// like the scalar engine's, so stateful graphs see the same sequence.
-	dyngraph.LaneColumns(ls.graphs, ls.sets, stepped, ls.t, ls.cols)
+	wordFast := dyngraph.LaneColumns(ls.graphs, ls.sets, stepped, ls.t, ls.cols)
+	ls.statRounds++
+	ls.statLaneSteps += bits.OnesCount64(stepped)
+	ls.statWordFast += wordFast
 
 	// Occupancy: mCW doubles as the "seen one robot" accumulator and mCCW
 	// as the "seen two or more" (tower) word per node during this phase;

@@ -33,6 +33,9 @@ type BatchConfig struct {
 	// worker count. On cancellation only the solid prefix is streamed
 	// (see PoolConfig.OnResult).
 	OnResult func(JobResult)
+	// Metrics, when non-nil, instruments the underlying pool (see
+	// PoolConfig.Metrics); it never affects results or report bytes.
+	Metrics *PoolMetrics
 }
 
 // JobResult is the outcome of one (experiment, seed) job.
@@ -124,6 +127,7 @@ func RunBatch(ctx context.Context, cfg BatchConfig) ([]JobResult, error) {
 	return RunPool(ctx, PoolConfig[JobResult]{
 		Total:   len(exps) * len(seeds),
 		Workers: cfg.Workers,
+		Metrics: cfg.Metrics,
 		Run: func(i int) JobResult {
 			return runJob(exps[i/len(seeds)], Config{
 				Seed:            seeds[i%len(seeds)],

@@ -46,6 +46,12 @@ type PoolConfig[R any] struct {
 	// Emission order is therefore independent of the worker count. It
 	// covers executed jobs only, never cancellation placeholders.
 	OnResult func(i int, r R)
+	// Metrics, when non-nil, receives scheduling telemetry (dispatch and
+	// retire counts, permit waits, in-flight and reorder-depth gauges,
+	// per-worker utilization). Recording happens on scheduling edges
+	// only, never inside Run, and feeds nothing back into scheduling —
+	// emission order and output bytes are identical with or without it.
+	Metrics *PoolMetrics
 }
 
 // PoolItem is one streamed pool result: the job index, its result, and a
@@ -114,19 +120,33 @@ func StreamPool[R any](ctx context.Context, cfg PoolConfig[R]) iter.Seq[PoolItem
 		// context is cancelled. Feed runs here, single-threaded and in
 		// index order; the jobs-channel send publishes its effects to the
 		// worker running the job.
+		m := cfg.Metrics
 		go func() {
 			defer close(jobs)
 			for i := 0; i < total; i++ {
 				select {
 				case <-permits:
-				case <-inner.Done():
-					return
+				default:
+					// The window is full: emission is the bottleneck right
+					// now. Count the stall, then wait as before.
+					if m != nil {
+						m.PermitWaits.Inc()
+					}
+					select {
+					case <-permits:
+					case <-inner.Done():
+						return
+					}
 				}
 				if cfg.Feed != nil {
 					cfg.Feed(i)
 				}
 				select {
 				case jobs <- i:
+					if m != nil {
+						m.Dispatched.Inc()
+						m.InFlight.Add(1)
+					}
 				case <-inner.Done():
 					return
 				}
@@ -138,12 +158,21 @@ func StreamPool[R any](ctx context.Context, cfg PoolConfig[R]) iter.Seq[PoolItem
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				ran := 0
 				for i := range jobs {
+					r := cfg.Run(i)
+					if m != nil {
+						m.InFlight.Add(-1)
+					}
+					ran++
 					// The send is unconditional: the emitter drains out
 					// until it closes, so even on cancellation a finished
 					// job's result is never dropped — "in-flight jobs
 					// finish" and their results are yielded.
-					out <- indexed{i, cfg.Run(i)}
+					out <- indexed{i, r}
+				}
+				if m != nil {
+					m.WorkerJobs.Observe(ran)
 				}
 			}()
 		}
@@ -160,21 +189,33 @@ func StreamPool[R any](ctx context.Context, cfg PoolConfig[R]) iter.Seq[PoolItem
 		done := make([]bool, window)
 		next := 0
 		stopped := false
+		parked := 0 // completed results awaiting in-order emission
 		for ir := range out {
 			ring[ir.i%window] = ir.r
 			done[ir.i%window] = true
+			parked++
+			if m != nil {
+				m.ReorderDepth.Set(int64(parked)) // peak lands in the high-water
+			}
 			for next < total && done[next%window] {
 				slot := next % window
 				r := ring[slot]
 				done[slot] = false
+				parked--
 				var zero R
 				ring[slot] = zero // drop the reference immediately
 				if !stopped && !yield(PoolItem[R]{I: next, R: r}) {
 					stopped = true
 					cancel() // consumer left: stop dispatching, drain below
 				}
+				if m != nil {
+					m.Retired.Inc()
+				}
 				next++
 				permits <- struct{}{}
+			}
+			if m != nil {
+				m.ReorderDepth.Set(int64(parked))
 			}
 		}
 		if stopped {

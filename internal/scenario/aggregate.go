@@ -42,6 +42,9 @@ type Aggregate struct {
 	sweep      *metrics.Sweep
 	violations []Verdict
 	millis     int64
+	// reg resolves family descriptors for the margin instrumentation
+	// (confinement limits); never nil after NewAggregate.
+	reg *Registry
 }
 
 // NewAggregate creates the aggregation state for the campaign described
@@ -63,6 +66,7 @@ func NewAggregate(cfg CampaignConfig) (*Aggregate, error) {
 		end:       end,
 		familyIdx: map[string]int{},
 		sweep:     metrics.NewSweep(),
+		reg:       rcfg.registry(),
 	}
 	if rcfg.Resume != nil {
 		if err := a.restore(rcfg.Resume); err != nil {
@@ -125,6 +129,9 @@ func (a *Aggregate) Add(v Verdict) {
 	default:
 		a.families[i].None++
 	}
+	if v.Err != "" {
+		a.families[i].Errors++
+	}
 	if v.Err == "" { // errored/cancelled scenarios carry no metrics
 		if v.CoverTime >= 0 {
 			a.sweep.RecordScalar(fam, "cover", v.CoverTime)
@@ -133,10 +140,41 @@ func (a *Aggregate) Add(v Verdict) {
 			a.sweep.RecordScalar(fam, "maxGap", v.MaxGap)
 		}
 		a.sweep.RecordScalar(fam, "distinct", v.Distinct)
+		// Margin distributions: how much headroom each verdict had against
+		// the bound its property enforced. Small margins mark the regions
+		// where the paper's theorems are tightest — the signal the
+		// coverage-guided search steers by. They ride the same sweep
+		// scalars as the metrics above, so checkpoints, resume and shard
+		// merge preserve them for free.
+		switch v.Expect {
+		case ExpectExplore:
+			if v.CoverTime >= 0 {
+				// Rounds to spare between full cover and the horizon.
+				a.sweep.RecordScalar(fam, "coverSlack", v.Spec.Horizon-v.CoverTime)
+			}
+			if v.Outcome == "explored" || v.Outcome == "partial" {
+				// Distance from the revisit-gap ceiling the explore
+				// property enforces (Horizon/2, see ExploreViolation).
+				a.sweep.RecordScalar(fam, "gapHeadroom", v.Spec.Horizon/2-v.MaxGap)
+			}
+		case ExpectConfine:
+			// Distinct-node headroom under the family's confinement limit.
+			a.sweep.RecordScalar(fam, "confineHeadroom", a.confineLimit(fam)-v.Distinct)
+		}
 	}
 	if !v.OK || v.Err != "" {
 		a.violations = append(a.violations, v)
 	}
+}
+
+// confineLimit resolves the distinct-node bound the confine property
+// enforces for a family — the descriptor's limit, defaulting to 3
+// exactly like the property implementation.
+func (a *Aggregate) confineLimit(family string) int {
+	if d, ok := a.reg.Family(family); ok && d.ConfineLimit > 0 {
+		return d.ConfineLimit
+	}
+	return 3
 }
 
 // Merge folds b into a. Merging the parts of any in-order partition of a
@@ -167,6 +205,7 @@ func (a *Aggregate) Merge(b *Aggregate) error {
 		a.families[i].Explore += fs.Explore
 		a.families[i].Confine += fs.Confine
 		a.families[i].None += fs.None
+		a.families[i].Errors += fs.Errors
 	}
 	if err := a.sweep.RestoreScalars(b.sweep.ScalarStates()); err != nil {
 		return err
@@ -235,9 +274,9 @@ func (a *Aggregate) WriteReport(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "\n## Families (%d scenarios, %d ok)\n\n", a.done, a.ok); err != nil {
 		return err
 	}
-	ft := metrics.NewTable("family", "runs", "ok", "explore", "confine", "none")
+	ft := metrics.NewTable("family", "runs", "ok", "explore", "confine", "none", "errors")
 	for _, fs := range a.families {
-		ft.AddRow(fs.Family, fs.Runs, fs.OK, fs.Explore, fs.Confine, fs.None)
+		ft.AddRow(fs.Family, fs.Runs, fs.OK, fs.Explore, fs.Confine, fs.None, fs.Errors)
 	}
 	if err := ft.Render(w); err != nil {
 		return err

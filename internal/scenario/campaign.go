@@ -10,6 +10,7 @@ import (
 	"pef/internal/harness"
 	"pef/internal/metrics"
 	"pef/internal/prng"
+	"pef/internal/telemetry"
 )
 
 // CampaignConfig parameterizes a generated-scenario sweep: the generator,
@@ -65,6 +66,17 @@ type CampaignConfig struct {
 	// packing. Ignored when DisableLockstep is set (every job is then a
 	// single scenario).
 	LaneWidth int
+	// Telemetry, when non-nil, instruments the whole campaign stack: the
+	// worker pool, the oracle, the lockstep router and the simulators.
+	// Purely observational — verdict streams and every report stay
+	// byte-identical with or without it.
+	Telemetry *Telemetry
+	// Trace, when non-nil, receives structured campaign lifecycle events
+	// (campaign-start, block-retired) as JSONL. Events are emitted from
+	// the single-threaded emission path with monotonic sequence numbers
+	// and no wall clocks, so a trace file is byte-identical for any
+	// worker count.
+	Trace *telemetry.Tracer
 }
 
 // registry resolves the effective registry of the config.
@@ -256,6 +268,15 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 		for i := 0; i < from; i++ {
 			stream.next() // replay the sampler past the skipped prefix
 		}
+		// Every field is resolution-level (no worker count, no clock), so
+		// the trace prefix is identical for any pool configuration.
+		rcfg.Trace.Emit("campaign-start", map[string]any{
+			"generator": rcfg.Generator,
+			"count":     rcfg.Count,
+			"seeds":     len(rcfg.Seeds),
+			"from":      from,
+			"end":       end,
+		})
 
 		// Jobs are blocks of LaneWidth consecutive specs of the canonical
 		// stream (1 when lockstep is disabled): the block is the unit the
@@ -280,6 +301,7 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 			Total:   jobs,
 			Workers: rcfg.Workers,
 			Window:  window,
+			Metrics: rcfg.Telemetry.poolMetrics(),
 			// Feed materializes job i's spec block into its ring slot right
 			// before dispatch; the pool guarantees Feed(i) happens-before
 			// Run(i) and that the slot is not reused until job i was yielded.
@@ -293,10 +315,11 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 			},
 			Run: func(i int) []Verdict {
 				block := ring[i%window]
+				opts := RunOptions{Registry: reg, Telemetry: rcfg.Telemetry}
 				if rcfg.DisableLockstep {
 					vs := make([]Verdict, len(block))
 					for j, s := range block {
-						v, rerr := RunWith(ctx, s, RunOptions{Registry: reg})
+						v, rerr := RunWith(ctx, s, opts)
 						if rerr != nil && v.Err == "" {
 							v.Err = rerr.Error()
 							v.OK = false
@@ -305,7 +328,7 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 					}
 					return vs
 				}
-				return RunBlock(ctx, block, RunOptions{Registry: reg})
+				return RunBlock(ctx, block, opts)
 			},
 			// Placeholder runs after the dispatcher has exited (the pool
 			// orders it after close(out)), so continuing the sampler for
@@ -337,6 +360,12 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 					return
 				}
 			}
+			// Blocks retire in index order on this single-threaded path, so
+			// the event sequence is deterministic for any worker count.
+			rcfg.Trace.Emit("block-retired", map[string]any{
+				"block": item.I,
+				"specs": len(item.R),
+			})
 		}
 	}
 }
@@ -469,6 +498,10 @@ type FamilyStats struct {
 	Explore int `json:"explore,omitempty"`
 	Confine int `json:"confine,omitempty"`
 	None    int `json:"none,omitempty"`
+	// Errors counts runs that died before producing metrics (panics,
+	// invalid samples, cancellations) — previously invisible: they only
+	// surfaced inside the violation list.
+	Errors int `json:"errors,omitempty"`
 }
 
 // FamilyTable returns per-family aggregates in first-seen (canonical)

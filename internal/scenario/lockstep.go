@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"pef/internal/dyngraph"
 	"pef/internal/fsync"
@@ -37,31 +38,34 @@ var laneEvalPool = sync.Pool{New: func() any {
 
 // lockstepEligible reports whether the spec may run on the lane engine
 // under the given options, returning the resolved lane algorithm and
-// evolving graph when it may. Overrides (imperative algorithm/dynamics,
-// explicit placements, observers) and adaptive adversaries are scalar-only;
-// so are rings wider than the 64-bit presence word and algorithms without
-// a bit-parallel core. A dynamics build error also reports ineligible:
-// the scalar path rebuilds and reports the identical error verdict.
-func lockstepEligible(s Spec, o RunOptions, res preparedRun) (robot.LaneAlgorithm, dyngraph.EvolvingGraph, bool) {
+// evolving graph when it may — or, when it may not, a short reason tag
+// for the engine.skip.* telemetry counters. Overrides (imperative
+// algorithm/dynamics, explicit placements, observers — but NOT attached
+// Telemetry, which is observational) and adaptive adversaries are
+// scalar-only; so are rings wider than the 64-bit presence word and
+// algorithms without a bit-parallel core. A dynamics build error also
+// reports ineligible: the scalar path rebuilds and reports the identical
+// error verdict.
+func lockstepEligible(s Spec, o RunOptions, res preparedRun) (robot.LaneAlgorithm, dyngraph.EvolvingGraph, bool, string) {
 	if o.Algorithm != nil || o.Dynamics != nil || len(o.Placements) > 0 || len(o.Observers) > 0 {
-		return nil, nil, false
+		return nil, nil, false, "overrides"
 	}
 	if s.Ring > laneWordSize {
-		return nil, nil, false
+		return nil, nil, false, "ring-width"
 	}
 	la, ok := res.alg.(robot.LaneAlgorithm)
 	if !ok {
-		return nil, nil, false
+		return nil, nil, false, "algorithm"
 	}
 	dyn, err := res.fam.build(s)
 	if err != nil {
-		return nil, nil, false
+		return nil, nil, false, "family-build"
 	}
 	obl, ok := dyn.(fsync.Oblivious)
 	if !ok || obl.G == nil {
-		return nil, nil, false
+		return nil, nil, false, "dynamics"
 	}
-	return la, obl.G, true
+	return la, obl.G, true, ""
 }
 
 // blockKey is the shape a lane group must share: one lockstep run drives
@@ -83,6 +87,7 @@ func RunBlock(ctx context.Context, specs []Spec, o RunOptions) []Verdict {
 	defer laneEvalPool.Put(ev)
 
 	// Group eligible specs by shape; everything else runs scalar.
+	tel := o.Telemetry
 	groups := map[blockKey][]int{}
 	algs := map[blockKey]robot.LaneAlgorithm{}
 	graphs := make([]dyngraph.EvolvingGraph, len(specs))
@@ -93,8 +98,12 @@ func RunBlock(ctx context.Context, specs []Spec, o RunOptions) []Verdict {
 			out[i] = v
 			continue
 		}
-		la, g, ok := lockstepEligible(s, o, res)
+		la, g, ok, reason := lockstepEligible(s, o, res)
 		if !ok {
+			if tel != nil {
+				tel.scalarSpecs.Inc()
+				tel.skipReason(reason).Inc()
+			}
 			out[i] = runScalar(ctx, specs[i], o)
 			continue
 		}
@@ -124,7 +133,16 @@ func RunBlock(ctx context.Context, specs []Spec, o RunOptions) []Verdict {
 			if lanes > laneWordSize {
 				lanes = laneWordSize
 			}
-			runLockstepGroup(ctx, specs, graphs, members[:lanes], algs[key], o, ev, out)
+			if tel != nil {
+				tel.lockstepGroups.Inc()
+				tel.lockstepSpecs.Add(int64(lanes))
+				tel.laneOccupancy.Observe(lanes)
+				start := time.Now()
+				runLockstepGroup(ctx, specs, graphs, members[:lanes], algs[key], o, ev, out)
+				tel.lockstepMillis.Add(time.Since(start).Milliseconds())
+			} else {
+				runLockstepGroup(ctx, specs, graphs, members[:lanes], algs[key], o, ev, out)
+			}
 			members = members[lanes:]
 		}
 	}
@@ -169,7 +187,11 @@ func runLockstepGroup(ctx context.Context, specs []Spec, graphs []dyngraph.Evolv
 			Horizon:    s.Horizon,
 		})
 	}
-	ls, err := fsync.AcquireLockstep(fsync.LockstepConfig{Algorithm: alg, Lanes: ev.runs})
+	ls, err := fsync.AcquireLockstep(fsync.LockstepConfig{
+		Algorithm: alg,
+		Lanes:     ev.runs,
+		Metrics:   o.Telemetry.simMetrics(),
+	})
 	if err != nil {
 		return // scalar fallback reproduces the rejection per spec
 	}

@@ -121,7 +121,8 @@ func TestRunBlockObserversForceScalar(t *testing.T) {
 	}
 	rounds := 0
 	obs := countRounds{&rounds}
-	got := RunBlock(context.Background(), specs, RunOptions{Observers: []fsync.Observer{obs}})
+	tel := NewTelemetry()
+	got := RunBlock(context.Background(), specs, RunOptions{Observers: []fsync.Observer{obs}, Telemetry: tel})
 	for i, s := range specs {
 		want := runScalar(context.Background(), s, RunOptions{Observers: []fsync.Observer{obs}})
 		// The observer counter differs between the two passes; compare the
@@ -133,6 +134,50 @@ func TestRunBlockObserversForceScalar(t *testing.T) {
 	}
 	if rounds == 0 {
 		t.Fatal("observers were dropped: the block must have run scalar with observers attached")
+	}
+	// The telemetry bundle saw the routing decision: every spec left the
+	// lockstep path, attributed to the observer override.
+	snap := tel.Snapshot()
+	if got := snap.Counters["engine.lockstepSpecs"]; got != 0 {
+		t.Fatalf("engine.lockstepSpecs = %d with observers attached, want 0", got)
+	}
+	if got := snap.Counters["engine.skip.overrides"]; got != int64(len(specs)) {
+		t.Fatalf("engine.skip.overrides = %d, want %d", got, len(specs))
+	}
+	if got := snap.Counters["engine.scalarSpecs"]; got != int64(len(specs)) {
+		t.Fatalf("engine.scalarSpecs = %d, want %d", got, len(specs))
+	}
+}
+
+// TestRunBlockTelemetryStaysLockstep is the differential counterpart of
+// TestRunBlockObserversForceScalar: attaching Telemetry — unlike
+// attaching observers — must NOT force a block off the lockstep path,
+// and must not change a single verdict field.
+func TestRunBlockTelemetryStaysLockstep(t *testing.T) {
+	specs, err := Generate("uniform", GenConfig{}, 21, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := RunBlock(context.Background(), specs, RunOptions{})
+	tel := NewTelemetry()
+	got := RunBlock(context.Background(), specs, RunOptions{Telemetry: tel})
+	for i := range specs {
+		if got[i] != plain[i] {
+			t.Fatalf("spec %d: telemetry changed the verdict:\n got %+v\nwant %+v", i, got[i], plain[i])
+		}
+	}
+	snap := tel.Snapshot()
+	if got := snap.Counters["engine.lockstepSpecs"]; got == 0 {
+		t.Fatalf("engine.lockstepSpecs = 0: telemetry forced the block off the lockstep path (counters: %v)", snap.Counters)
+	}
+	if got := snap.Counters["engine.skip.overrides"]; got != 0 {
+		t.Fatalf("engine.skip.overrides = %d with no overrides attached, want 0", got)
+	}
+	if lock, scal := snap.Counters["engine.lockstepSpecs"], snap.Counters["engine.scalarSpecs"]; lock+scal != int64(len(specs)) {
+		t.Fatalf("lockstep(%d)+scalar(%d) specs != %d routed", lock, scal, len(specs))
+	}
+	if snap.Counters["sim.lockstep.rounds"] == 0 {
+		t.Fatal("lane engine ran but recorded no lockstep rounds")
 	}
 }
 

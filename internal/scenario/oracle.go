@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"pef/internal/fsync"
 	"pef/internal/prng"
@@ -111,6 +112,12 @@ type RunOptions struct {
 	// polls; values < 1 mean 256. Smaller values cancel long horizons
 	// faster at slightly higher per-round cost.
 	CheckEvery int
+	// Telemetry, when non-nil, receives oracle and engine instrumentation
+	// (run counts, per-family wall time, simulator round counters). It is
+	// observational only — verdicts are byte-identical with or without it
+	// — and, unlike Observers, it does not force a block off the lockstep
+	// path.
+	Telemetry *Telemetry
 }
 
 // registry resolves the effective registry of the options.
@@ -205,6 +212,13 @@ func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 			v.OK = false
 		}
 	}()
+	if o.Telemetry != nil {
+		o.Telemetry.scalarRuns.Inc()
+		start := time.Now()
+		defer func() {
+			o.Telemetry.famMillis(s.Family).Add(time.Since(start).Milliseconds())
+		}()
+	}
 	v, res, err := prepareRun(s, o)
 	if err != nil {
 		return v, err
@@ -234,6 +248,7 @@ func RunWith(ctx context.Context, s Spec, o RunOptions) (v Verdict, err error) {
 		Dynamics:   dyn,
 		Placements: place,
 		Observers:  observers,
+		Metrics:    o.Telemetry.simMetrics(),
 	})
 	if err != nil {
 		v.Err = err.Error()

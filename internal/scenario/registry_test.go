@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"flag"
 	"os"
 	"reflect"
 	"strings"
@@ -179,10 +180,18 @@ func TestCustomRegistryEndToEnd(t *testing.T) {
 	}
 }
 
+// updatePreregistryGoldens regenerates testdata/preregistry_* when a PR
+// deliberately changes report rendering (new columns, new scalar rows).
+// The goldens then pin the new rendering for the registry-equivalence
+// guarantee the test documents.
+var updatePreregistryGoldens = flag.Bool("update-preregistry-goldens", false,
+	"regenerate testdata/preregistry_* from the current rendering")
+
 // TestPreRegistryByteIdentity pins the redesign's compatibility
 // guarantee: campaign reports over every built-in family are
 // byte-identical to the committed pre-registry outputs (generated from
-// the last string-switch revision).
+// the last string-switch revision; regenerated when rendering changes
+// on purpose — see -update-preregistry-goldens).
 func TestPreRegistryByteIdentity(t *testing.T) {
 	for _, gen := range []string{"uniform", "boundary", "markov", "adversarial"} {
 		cfg := CampaignConfig{Generator: gen, Count: 100, Seeds: []uint64{1, 2}, Workers: 4}
@@ -196,6 +205,15 @@ func TestPreRegistryByteIdentity(t *testing.T) {
 		}
 		if err := c.WriteJSON(&js); err != nil {
 			t.Fatal(err)
+		}
+		if *updatePreregistryGoldens {
+			if err := os.WriteFile("testdata/preregistry_"+gen+".txt", rep.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile("testdata/preregistry_"+gen+".json", js.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
 		}
 		wantRep, err := os.ReadFile("testdata/preregistry_" + gen + ".txt")
 		if err != nil {

@@ -1,0 +1,41 @@
+package telemetry
+
+import "testing"
+
+// TestCounterRecordAllocFree pins the hot-path recording contract: once
+// an instrument exists, Inc/Add/Set on it — and on nil instruments, the
+// telemetry-off path — allocate nothing. Hist.Observe is also guarded
+// for steady state (re-observing an already-seen value hits an existing
+// map cell).
+func TestCounterRecordAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Hist("h")
+	h.Observe(3) // pre-seed the steady-state cell
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(2)
+		g.Add(1)
+		g.Add(-1)
+		g.Set(0)
+		h.Observe(3)
+	}); n != 0 {
+		t.Fatalf("live instrument recording allocates %v/op, want 0", n)
+	}
+	var nc *Counter
+	var ng *Gauge
+	var nh *Hist
+	if n := testing.AllocsPerRun(200, func() {
+		nc.Inc()
+		nc.Add(2)
+		ng.Add(1)
+		ng.Set(0)
+		nh.Observe(3)
+	}); n != 0 {
+		t.Fatalf("nil-instrument (telemetry off) path allocates %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sync"
+
+	"pef/internal/metrics"
+)
+
+// Hist is a metrics.Dist-backed histogram of integer observations:
+// memory grows with distinct values, never with observation count, and
+// merging is commutative — the same properties campaign aggregation
+// relies on. Recording takes a mutex rather than an atomic, so Hist
+// belongs on per-event paths (per job, per block, per run flush), not
+// inside the per-round simulation loop; the engine instead accumulates
+// plain ints per run and flushes once into a Counter or Hist.
+//
+// All methods are safe on a nil receiver.
+type Hist struct {
+	mu sync.Mutex
+	d  *metrics.Dist
+}
+
+func newHist() *Hist {
+	return &Hist{d: metrics.NewDist()}
+}
+
+// Observe records one observation of v. Nil receiver: no-op.
+func (h *Hist) Observe(v int) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of v. Nil receiver or non-positive n:
+// no-op.
+func (h *Hist) ObserveN(v, n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.mu.Lock()
+	h.d.AddN(v, n)
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations. Nil receiver: 0.
+func (h *Hist) Count() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.d.Count()
+}
+
+// Value snapshots the histogram: summary plus exact cells. Nil
+// receiver: zero HistValue.
+func (h *Hist) Value() HistValue {
+	if h == nil {
+		return HistValue{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.d.Summary()
+	v := HistValue{
+		Count:  s.Count,
+		Min:    s.Min,
+		Max:    s.Max,
+		Mean:   s.Mean,
+		Median: s.Median,
+		P95:    s.P95,
+	}
+	if s.Count > 0 {
+		v.Cells = h.d.Entries()
+	}
+	return v
+}
+
+// mergeHistValues combines two histogram snapshots exactly: the cells
+// are merged as distributions and the summary recomputed, so merged
+// medians/quantiles equal those of the union multiset.
+func mergeHistValues(a, b HistValue) HistValue {
+	d := metrics.NewDist()
+	for _, e := range a.Cells {
+		d.AddN(e.Value, e.Count)
+	}
+	for _, e := range b.Cells {
+		d.AddN(e.Value, e.Count)
+	}
+	s := d.Summary()
+	v := HistValue{
+		Count:  s.Count,
+		Min:    s.Min,
+		Max:    s.Max,
+		Mean:   s.Mean,
+		Median: s.Median,
+		P95:    s.P95,
+	}
+	if s.Count > 0 {
+		v.Cells = d.Entries()
+	}
+	return v
+}

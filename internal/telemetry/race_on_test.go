@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled gates the allocation-discipline guards: the race detector
+// instruments allocations, so AllocsPerRun numbers are meaningless there.
+const raceEnabled = true

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one JSONL trace record. Seq is a per-tracer monotonic
+// sequence number — deliberately the only ordering field: wall clocks
+// would make trace files differ between runs and worker counts, and the
+// tracing contract is the same as the report contract (same campaign,
+// same bytes). Fields carry event-specific data; encoding/json sorts the
+// map keys, so a record's rendering is independent of insertion order.
+type Event struct {
+	Seq    int64          `json:"seq"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Tracer serializes Events to an io.Writer as JSON lines. Emission takes
+// a mutex — tracing belongs on campaign-structure edges (campaign start,
+// block retired, checkpoint written), which fire orders of magnitude
+// less often than runs. For deterministic trace files, emit only from
+// deterministic points (the single-threaded fold loop, not worker
+// goroutines) and put no wall-clock or host-dependent data in Fields.
+//
+// All methods are safe on a nil receiver, so an unset -trace-events flag
+// is a nil Tracer threaded through unchanged.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+	err error
+}
+
+// NewTracer creates a tracer writing JSONL records to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// Emit writes one event with the next sequence number. Nil receiver:
+// no-op. After a write error the tracer latches it and drops subsequent
+// events (Err reports the first failure).
+func (t *Tracer) Emit(event string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	rec := Event{Seq: t.seq, Event: event, Fields: fields}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.err = fmt.Errorf("telemetry: marshal trace event %q: %w", event, err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil {
+		t.err = fmt.Errorf("telemetry: write trace event %q: %w", event, err)
+		return
+	}
+	t.seq++
+}
+
+// Err returns the first emission failure, if any. Nil receiver: nil.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

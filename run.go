@@ -51,6 +51,15 @@ func WithTrace(w io.Writer) Option {
 	return func(s *runSettings) { s.traceSink = w }
 }
 
+// WithTelemetry attaches an instrumentation bundle to the run: the
+// oracle and the simulators record counters into it (rounds, pool
+// traffic, per-family wall time). Unlike WithObservers it never forces a
+// campaign block off the lockstep engine, and the verdict is
+// byte-identical with or without it.
+func WithTelemetry(t *Telemetry) Option {
+	return func(s *runSettings) { s.opts.Telemetry = t }
+}
+
 // WithAlgorithm overrides the scenario's algorithm registry lookup with
 // an explicit Algorithm value — the bridge from imperative configurations
 // (custom or unregistered algorithms) into the unified Run path. The
