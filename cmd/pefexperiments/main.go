@@ -46,15 +46,22 @@
 // The process exits non-zero when any (experiment, seed) job errors or
 // fails to reproduce the paper's prediction, in every mode — single run,
 // -only, sweep, and -json — so CI can trust the exit code.
+//
+// SIGINT/SIGTERM interrupt a sweep gracefully: in-flight jobs drain, the
+// partial report is still rendered, and the process exits non-zero with
+// an "interrupted after N of M" note.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pef/internal/harness"
 	"pef/internal/metrics"
@@ -62,13 +69,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pefexperiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pefexperiments", flag.ContinueOnError)
 	var (
 		seed     = fs.Uint64("seed", 1, "base experiment seed")
@@ -154,14 +163,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"experiments": len(exps), "seeds": len(sweep), "quick": *quick, "shard": *shard,
 	})
 
+	// A SIGINT/SIGTERM cancels ctx: RunBatch drains in-flight jobs, marks
+	// unstarted ones cancelled, and returns the partial slice with the
+	// context error. The partial report is still rendered — the drained
+	// prefix is valid output — before the interrupt fails the process.
 	var jobs []harness.JobResult
-	var err error
+	var runErr error
 	switch {
 	case *jsonOut:
-		jobs, err = harness.RunBatch(context.Background(), cfg)
-		if err != nil {
-			return err
-		}
+		jobs, runErr = harness.RunBatch(ctx, cfg)
 		if eerr := writeJSON(stdout, sweep, *quick, *timings, jobs); eerr != nil {
 			return eerr
 		}
@@ -178,20 +188,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			werr = harness.WriteResult(stdout, j.Result)
 		}
-		jobs, err = harness.RunBatch(context.Background(), cfg)
-		if err != nil {
-			return err
-		}
+		jobs, runErr = harness.RunBatch(ctx, cfg)
 		if werr != nil {
 			return werr
 		}
 		fmt.Fprintf(stdout, "\n---\n%d/%d experiments reproduce the paper's predictions.\n", harness.Passes(jobs), len(jobs))
 	default:
 		fmt.Fprintf(stdout, "# Experiment sweep (seeds=%d..%d, quick=%t)\n", sweep[0], sweep[len(sweep)-1], *quick)
-		jobs, err = harness.RunBatch(context.Background(), cfg)
-		if err != nil {
-			return err
-		}
+		jobs, runErr = harness.RunBatch(ctx, cfg)
 		if werr := harness.WriteBatchReport(stdout, jobs); werr != nil {
 			return werr
 		}
@@ -200,6 +204,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	tracer.Emit("sweep-end", map[string]any{"passes": harness.Passes(jobs), "total": len(jobs)})
 	if terr := tracer.Err(); terr != nil {
 		return terr
+	}
+	if runErr != nil {
+		done := 0
+		for _, j := range jobs {
+			if !errors.Is(j.Err, context.Canceled) {
+				done++
+			}
+		}
+		return fmt.Errorf("interrupted after %d of %d experiment job(s): %w", done, len(jobs), runErr)
 	}
 	return failure(jobs)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -18,7 +19,7 @@ func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
 	render := func(extra ...string) string {
 		var buf bytes.Buffer
 		args := append([]string{"-quick", "-seeds", "8"}, extra...)
-		if err := run(args, &buf, io.Discard); err != nil {
+		if err := run(context.Background(), args, &buf, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		return buf.String()
@@ -39,7 +40,7 @@ func TestJSONByteIdenticalAcrossWorkers(t *testing.T) {
 	render := func(workers string) string {
 		var buf bytes.Buffer
 		args := []string{"-quick", "-seeds", "4", "-json", "-only", "E-T1.R5", "-workers", workers}
-		if err := run(args, &buf, io.Discard); err != nil {
+		if err := run(context.Background(), args, &buf, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		return buf.String()
@@ -62,7 +63,7 @@ func TestJSONByteIdenticalAcrossWorkers(t *testing.T) {
 
 func TestClassicSingleSeedReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-quick"}, &buf, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -80,10 +81,10 @@ func TestClassicSingleSeedReport(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-only", "bogus"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-only", "bogus"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("unknown -only must error")
 	}
-	if err := run([]string{"-seeds", "0"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-seeds", "0"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("-seeds 0 must error")
 	}
 }
@@ -113,7 +114,7 @@ func TestShardDefaultOn(t *testing.T) {
 	render := func(extra ...string) string {
 		var buf bytes.Buffer
 		args := append([]string{"-quick", "-seeds", "2", "-only", "E-T1.R1"}, extra...)
-		if err := run(args, &buf, io.Discard); err != nil {
+		if err := run(context.Background(), args, &buf, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		return buf.String()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -15,7 +16,7 @@ import (
 func TestObservabilityFlagsKeepStdout(t *testing.T) {
 	base := []string{"-quick", "-seeds", "2", "-json", "-only", "E-T1.R5"}
 	var plain bytes.Buffer
-	if err := run(base, &plain, io.Discard); err != nil {
+	if err := run(context.Background(), base, &plain, io.Discard); err != nil {
 		t.Fatalf("run(%v): %v", base, err)
 	}
 	trace := filepath.Join(t.TempDir(), "trace.jsonl")
@@ -23,7 +24,7 @@ func TestObservabilityFlagsKeepStdout(t *testing.T) {
 		"-progress", "1", "-trace-events", trace, "-telemetry-addr", "127.0.0.1:0",
 	}, base...)
 	var out, errOut bytes.Buffer
-	if err := run(instrumented, &out, &errOut); err != nil {
+	if err := run(context.Background(), instrumented, &out, &errOut); err != nil {
 		t.Fatalf("run(%v): %v", instrumented, err)
 	}
 	if plain.String() != out.String() {
@@ -46,7 +47,7 @@ func TestTraceEventsDeterministicAcrossWorkers(t *testing.T) {
 		trace := filepath.Join(t.TempDir(), "trace.jsonl")
 		args := []string{"-quick", "-seeds", "4", "-only", "E-T1.R5",
 			"-workers", workers, "-trace-events", trace}
-		if err := run(args, io.Discard, io.Discard); err != nil {
+		if err := run(context.Background(), args, io.Discard, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		data, err := os.ReadFile(trace)

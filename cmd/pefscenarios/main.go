@@ -28,6 +28,11 @@
 //	pefscenarios -count 1000 -shard-index 1 -shard-count 2 -checkpoint b.json
 //	pefscenarios -merge a.json b.json
 //
+//	# fault-tolerant fleet: join a pefcoord lease fabric as a worker —
+//	# the coordinator assigns blocks, tracks heartbeats, and re-leases
+//	# work from dead workers (see cmd/pefcoord)
+//	pefscenarios -worker-coord http://127.0.0.1:7077 -worker-id w1
+//
 // Flags:
 //
 //	-count N         scenarios generated per seed (default 100)
@@ -64,7 +69,11 @@
 //	-resume P        continue the campaign checkpointed at P: its
 //	                 generator, bounds, count, seeds and shard block are
 //	                 adopted, the finished prefix is skipped, and the
-//	                 final report is byte-identical to an uninterrupted run
+//	                 final report is byte-identical to an uninterrupted
+//	                 run. Checkpoints carry a content checksum; when P is
+//	                 corrupt or truncated, the resume falls back to the
+//	                 rotation files (P.1, then P.2) with a loud stderr
+//	                 warning instead of failing or silently restarting.
 //	-shard-index I   with -shard-count, run only shard I (0-based) of the
 //	-shard-count C   canonical stream: the contiguous block
 //	                 [I·total/C, (I+1)·total/C). Requires -checkpoint so
@@ -86,8 +95,25 @@
 //	                 monotonic sequence numbers and no wall clocks, so it
 //	                 is byte-identical for any worker count
 //
+//	-worker-coord U  worker mode: join the pefcoord lease fabric at base
+//	                 URL U and run granted blocks until the campaign is
+//	                 done. The coordinator owns the campaign identity, so
+//	                 every campaign-shaping flag conflicts; only engine
+//	                 knobs (-workers, -lockstep, -lanewidth) apply.
+//	-worker-id ID    worker name in the lease fabric (default
+//	                 worker-<pid>)
+//	-chaos-seed N    arm the deterministic fault schedule: per the seeded
+//	                 plan the worker kills, stalls, or double-acks leases
+//	                 (lease.Chaos), chaos-proving the coordinator's
+//	                 recovery — the merged report must stay byte-identical
+//
 // The observability flags never change stdout: reports, JSON documents
 // and checkpoints are byte-identical with them on or off.
+//
+// SIGINT/SIGTERM interrupt a campaign gracefully: the stream stops at a
+// verdict boundary, in-flight runs drain, and with -checkpoint set the
+// clean prefix is written as a final resumable checkpoint before the
+// process exits non-zero.
 //
 // The process exits non-zero when any scenario violates its predicate or
 // errors, so CI can trust the exit code.
@@ -95,10 +121,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"pef/internal/harness"
@@ -107,13 +137,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// One SIGINT/SIGTERM asks the campaign to drain and checkpoint; a
+	// second one restores default delivery and kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pefscenarios:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pefscenarios", flag.ContinueOnError)
 	var (
 		count      = fs.Int("count", 100, "scenarios generated per seed")
@@ -139,12 +173,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		progress   = fs.Int("progress", 0, "print a progress line to stderr every N aggregated scenarios")
 		telAddr    = fs.String("telemetry-addr", "", "serve the live telemetry snapshot and pprof on this address (\":0\" picks a free port)")
 		traceFile  = fs.String("trace-events", "", "write campaign lifecycle events to this path as JSONL")
+		workerURL  = fs.String("worker-coord", "", "join the pefcoord lease fabric at this base URL as a worker")
+		workerID   = fs.String("worker-id", "", "worker name in the lease fabric (default worker-<pid>)")
+		chaosSeed  = fs.Uint64("chaos-seed", 0, "arm the deterministic fault schedule with this seed (worker mode only; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		return writeList(stdout)
+	}
+	if *workerURL != "" {
+		// Worker mode: the campaign identity comes from the coordinator's
+		// grants, so every local campaign-shaping flag is a conflict.
+		for _, name := range []string{"count", "seed", "seeds", "family", "families", "maxring",
+			"checkpoint", "checkpoint-every", "halt-after", "resume", "shard-index", "shard-count",
+			"merge", "minimize", "json", "timings"} {
+			if explicitFlag(fs, name) {
+				return fmt.Errorf("-%s conflicts with -worker-coord (the coordinator owns the campaign; workers only bring -workers/-lockstep/-lanewidth)", name)
+			}
+		}
+		return runWorker(ctx, strings.TrimRight(*workerURL, "/"), *workerID, workerOptions{
+			Workers:         *workers,
+			DisableLockstep: !*lockstep,
+			LaneWidth:       *laneWidth,
+			ChaosSeed:       *chaosSeed,
+		}, stderr)
+	}
+	if *chaosSeed != 0 {
+		return fmt.Errorf("-chaos-seed requires -worker-coord (chaos is injected on the worker side)")
+	}
+	if *workerID != "" {
+		return fmt.Errorf("-worker-id requires -worker-coord")
 	}
 	if *merge {
 		return runMerge(fs.Args(), *jsonOut, stdout)
@@ -193,11 +253,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		LaneWidth:       *laneWidth,
 	}
 	if *resume != "" {
-		data, err := os.ReadFile(*resume)
-		if err != nil {
-			return err
-		}
-		ckpt, err := scenario.DecodeCheckpoint(data)
+		ckpt, err := loadResumeCheckpoint(*resume, stderr)
 		if err != nil {
 			return err
 		}
@@ -247,7 +303,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	start := agg.Start() + agg.Done()
 	halted := false
+	interrupted := false
 	began := time.Now()
+	// The campaign itself runs under the background context: on a signal
+	// we stop consuming at a verdict boundary instead, which cancels the
+	// pool, drains in-flight runs, and leaves the aggregate covering a
+	// clean prefix — exactly what a resumable checkpoint needs. Killing
+	// the stream's context would instead flood the tail of the stream
+	// with cancellation verdicts and poison the aggregate.
 	for v, serr := range scenario.StreamCampaign(context.Background(), cfg) {
 		if serr != nil && v.ID == "" {
 			return serr // configuration failure: nothing ran
@@ -264,10 +327,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			tracer.Emit("checkpoint-written", map[string]any{"kind": "rotating", "done": agg.Done()})
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			halted = true
+			break
+		}
 		if *haltAfter > 0 && ran >= *haltAfter {
 			halted = true
 			break
 		}
+	}
+	if interrupted && *checkpoint == "" {
+		return fmt.Errorf("interrupted after %d of %d scenarios (no -checkpoint set, progress discarded)",
+			agg.Done(), agg.End()-agg.Start())
 	}
 	if *checkpoint != "" {
 		data, err := agg.Checkpoint().Encode()
@@ -283,6 +355,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tracer.Emit("campaign-end", map[string]any{"done": agg.Done(), "halted": true})
 		if err := tracer.Err(); err != nil {
 			return err
+		}
+		if interrupted {
+			// Non-nil so the exit code reflects the interruption, but the
+			// campaign state is safe: in-flight runs drained and the clean
+			// prefix is checkpointed.
+			return fmt.Errorf("interrupted after %d of %d scenarios; resume with -resume %s",
+				agg.Done(), agg.End()-agg.Start(), *checkpoint)
 		}
 		fmt.Fprintf(stdout, "halted after %d of %d scenarios; resume with -resume %s\n",
 			agg.Done(), agg.End()-agg.Start(), *checkpoint)
@@ -332,6 +411,53 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d of %d scenario(s) violate the paper's predicates", len(violations), agg.Done())
 	}
 	return nil
+}
+
+// explicitFlag reports whether the user set a flag on the command line
+// (as opposed to its default applying).
+func explicitFlag(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// loadResumeCheckpoint reads the checkpoint at path, falling back to the
+// rotation siblings when the preferred file is corrupt, truncated, or
+// missing: a campaign killed mid-write of c.json still resumes from the
+// last intact rotating checkpoint (c.json.1, then c.json.2) — losing at
+// most one -checkpoint-every window — with a loud stderr note instead of
+// failing or silently restarting. Resuming from a rotation file directly
+// (-resume c.json.1) falls back to its older sibling.
+func loadResumeCheckpoint(path string, stderr io.Writer) (*scenario.Checkpoint, error) {
+	candidates := []string{path}
+	if strings.HasSuffix(path, ".1") {
+		candidates = append(candidates, strings.TrimSuffix(path, ".1")+".2")
+	} else if !strings.HasSuffix(path, ".2") {
+		candidates = append(candidates, path+".1", path+".2")
+	}
+	var errs []error
+	for i, p := range candidates {
+		data, err := os.ReadFile(p)
+		if err == nil {
+			var ckpt *scenario.Checkpoint
+			if ckpt, err = scenario.DecodeCheckpoint(data); err == nil {
+				if i > 0 {
+					fmt.Fprintf(stderr, "pefscenarios: WARNING: checkpoint %s is unusable (%v); resuming from rotation %s instead\n",
+						path, errs[0], p)
+				}
+				return ckpt, nil
+			}
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", p, err))
+	}
+	if len(errs) > 1 {
+		return nil, fmt.Errorf("checkpoint %s is unusable and no rotation could be recovered: %w", path, errors.Join(errs...))
+	}
+	return nil, errs[0]
 }
 
 // generatorName resolves the campaign's generator label for the

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -22,7 +23,7 @@ func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
 				args = append(args, "-json")
 			}
 			var buf bytes.Buffer
-			if err := run(args, &buf, io.Discard); err != nil {
+			if err := run(context.Background(), args, &buf, io.Discard); err != nil {
 				t.Fatalf("%s workers=%s: %v", mode, workers, err)
 			}
 			return buf.String()
@@ -35,7 +36,7 @@ func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
 
 func TestRunJSONShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-family", "adversarial", "-count", "25", "-json"}, &buf, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-family", "adversarial", "-count", "25", "-json"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -48,7 +49,7 @@ func TestRunJSONShape(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, g := range []string{"uniform", "boundary", "markov", "adversarial"} {
@@ -59,16 +60,16 @@ func TestRunList(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-count", "0"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-count", "0"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("want error for -count 0")
 	}
-	if err := run([]string{"-seeds", "0"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-seeds", "0"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("want error for -seeds 0")
 	}
-	if err := run([]string{"-family", "nope"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-family", "nope"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("want error for unknown -family")
 	}
-	if err := run([]string{"-maxring", "3"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-maxring", "3"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("want error for -maxring below 4")
 	}
 }
@@ -82,12 +83,12 @@ func TestCheckpointHaltResumeRoundTrip(t *testing.T) {
 	base := []string{"-family", "boundary", "-count", "40", "-seeds", "2", "-maxring", "8"}
 
 	var uninterrupted bytes.Buffer
-	if err := run(append([]string{"-workers", "2"}, base...), &uninterrupted, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-workers", "2"}, base...), &uninterrupted, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 
 	var halted bytes.Buffer
-	if err := run(append([]string{"-checkpoint", ckpt, "-halt-after", "33", "-workers", "1"}, base...), &halted, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-checkpoint", ckpt, "-halt-after", "33", "-workers", "1"}, base...), &halted, io.Discard); err != nil {
 		t.Fatalf("halted run failed: %v", err)
 	}
 	if !strings.Contains(halted.String(), "halted after 33 of 80 scenarios") {
@@ -95,7 +96,7 @@ func TestCheckpointHaltResumeRoundTrip(t *testing.T) {
 	}
 
 	var resumed bytes.Buffer
-	if err := run([]string{"-resume", ckpt, "-workers", "4"}, &resumed, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-resume", ckpt, "-workers", "4"}, &resumed, io.Discard); err != nil {
 		t.Fatalf("resumed run failed: %v", err)
 	}
 	if resumed.String() != uninterrupted.String() {
@@ -107,11 +108,11 @@ func TestCheckpointHaltResumeRoundTrip(t *testing.T) {
 	// zero scenarios and still reproduces the report.
 	full := filepath.Join(t.TempDir(), "full.ckpt.json")
 	var again bytes.Buffer
-	if err := run(append([]string{"-checkpoint", full}, base...), &again, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-checkpoint", full}, base...), &again, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var replay bytes.Buffer
-	if err := run([]string{"-resume", full}, &replay, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-resume", full}, &replay, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if replay.String() != uninterrupted.String() {
@@ -123,25 +124,25 @@ func TestCheckpointHaltResumeRoundTrip(t *testing.T) {
 // validated against the checkpoint instead of silently diverging.
 func TestResumeRejectsConflictingFlags(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "c.json")
-	if err := run([]string{"-family", "boundary", "-count", "10", "-maxring", "8", "-checkpoint", ckpt, "-halt-after", "5"}, &bytes.Buffer{}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-family", "boundary", "-count", "10", "-maxring", "8", "-checkpoint", ckpt, "-halt-after", "5"}, &bytes.Buffer{}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-resume", ckpt, "-family", "uniform"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-resume", ckpt, "-family", "uniform"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("conflicting -family accepted on resume")
 	}
-	if err := run([]string{"-resume", ckpt, "-count", "99"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-resume", ckpt, "-count", "99"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("conflicting -count accepted on resume")
 	}
-	if err := run([]string{"-resume", filepath.Join(t.TempDir(), "missing.json")}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-resume", filepath.Join(t.TempDir(), "missing.json")}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("missing checkpoint file accepted")
 	}
 }
 
 func TestHaltAndMinimizeFlagValidation(t *testing.T) {
-	if err := run([]string{"-halt-after", "5"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-halt-after", "5"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("-halt-after without -checkpoint accepted")
 	}
-	if err := run([]string{"-minimize", "-json"}, &bytes.Buffer{}, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-minimize", "-json"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("-minimize with -json accepted")
 	}
 }
@@ -151,7 +152,7 @@ func TestHaltAndMinimizeFlagValidation(t *testing.T) {
 // listing, section by section.
 func TestListEnumeratesRegistry(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -183,10 +184,10 @@ func TestShardMergeByteIdentity(t *testing.T) {
 	base := []string{"-family", "boundary", "-count", "40", "-seeds", "2", "-maxring", "8"}
 
 	var whole, wholeJSON bytes.Buffer
-	if err := run(append([]string{"-workers", "2"}, base...), &whole, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-workers", "2"}, base...), &whole, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append([]string{"-workers", "2", "-json"}, base...), &wholeJSON, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-workers", "2", "-json"}, base...), &wholeJSON, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 
@@ -198,20 +199,20 @@ func TestShardMergeByteIdentity(t *testing.T) {
 			"-shard-index", fmt.Sprint(i), "-shard-count", "3",
 			"-checkpoint", p, "-workers", fmt.Sprint(i + 1),
 		}, base...)
-		if err := run(args, io.Discard, io.Discard); err != nil {
+		if err := run(context.Background(), args, io.Discard, io.Discard); err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}
 	}
 
 	var merged bytes.Buffer
-	if err := run(append([]string{"-merge"}, paths...), &merged, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-merge"}, paths...), &merged, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if merged.String() != whole.String() {
 		t.Fatal("merged shard report differs from single-process run")
 	}
 	var mergedJSON bytes.Buffer
-	if err := run(append([]string{"-merge", "-json"}, paths...), &mergedJSON, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-merge", "-json"}, paths...), &mergedJSON, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if mergedJSON.String() != wholeJSON.String() {
@@ -219,11 +220,11 @@ func TestShardMergeByteIdentity(t *testing.T) {
 	}
 
 	// Merging with a missing shard fails loudly.
-	if err := run([]string{"-merge", paths[0], paths[2]}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-merge", paths[0], paths[2]}, io.Discard, io.Discard); err == nil {
 		t.Error("merge with a missing shard accepted")
 	}
 	// Sharding without a checkpoint is rejected (the block would be lost).
-	if err := run(append([]string{"-shard-index", "0", "-shard-count", "2"}, base...), io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), append([]string{"-shard-index", "0", "-shard-count", "2"}, base...), io.Discard, io.Discard); err == nil {
 		t.Error("-shard-count without -checkpoint accepted")
 	}
 }
@@ -237,10 +238,10 @@ func TestCheckpointRotation(t *testing.T) {
 	base := []string{"-family", "uniform", "-count", "35", "-maxring", "8"}
 
 	var whole bytes.Buffer
-	if err := run(base, &whole, io.Discard); err != nil {
+	if err := run(context.Background(), base, &whole, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append([]string{"-checkpoint", ckpt, "-checkpoint-every", "10"}, base...), io.Discard, io.Discard); err != nil {
+	if err := run(context.Background(), append([]string{"-checkpoint", ckpt, "-checkpoint-every", "10"}, base...), io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	newest, err := os.ReadFile(ckpt + ".1")
@@ -263,13 +264,13 @@ func TestCheckpointRotation(t *testing.T) {
 		t.Fatalf("rotation kept Done=%d/%d, want 30/20", ck1.Done, ck2.Done)
 	}
 	var resumed bytes.Buffer
-	if err := run([]string{"-resume", ckpt + ".1"}, &resumed, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-resume", ckpt + ".1"}, &resumed, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if resumed.String() != whole.String() {
 		t.Fatal("resume from rotating checkpoint differs from uninterrupted run")
 	}
-	if err := run(append([]string{"-checkpoint-every", "5"}, base...), io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), append([]string{"-checkpoint-every", "5"}, base...), io.Discard, io.Discard); err == nil {
 		t.Error("-checkpoint-every without -checkpoint accepted")
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -17,7 +18,7 @@ func TestObservabilityFlagsKeepStdout(t *testing.T) {
 	for _, mode := range [][]string{nil, {"-json"}} {
 		base := append([]string{"-family", "boundary", "-count", "40", "-maxring", "8"}, mode...)
 		var plain bytes.Buffer
-		if err := run(base, &plain, io.Discard); err != nil {
+		if err := run(context.Background(), base, &plain, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", base, err)
 		}
 		trace := filepath.Join(t.TempDir(), "trace.jsonl")
@@ -25,7 +26,7 @@ func TestObservabilityFlagsKeepStdout(t *testing.T) {
 			"-progress", "10", "-trace-events", trace, "-telemetry-addr", "127.0.0.1:0",
 		}, base...)
 		var out, errOut bytes.Buffer
-		if err := run(instrumented, &out, &errOut); err != nil {
+		if err := run(context.Background(), instrumented, &out, &errOut); err != nil {
 			t.Fatalf("run(%v): %v", instrumented, err)
 		}
 		if plain.String() != out.String() {
@@ -48,7 +49,7 @@ func TestTraceEventsDeterministicAcrossWorkers(t *testing.T) {
 	render := func(workers string) string {
 		trace := filepath.Join(t.TempDir(), "trace.jsonl")
 		args := []string{"-count", "60", "-maxring", "8", "-workers", workers, "-trace-events", trace}
-		if err := run(args, io.Discard, io.Discard); err != nil {
+		if err := run(context.Background(), args, io.Discard, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 		data, err := os.ReadFile(trace)
@@ -93,7 +94,7 @@ func TestTraceEventsCoverCheckpoints(t *testing.T) {
 	ckpt := filepath.Join(dir, "c.json")
 	args := []string{"-count", "40", "-maxring", "8",
 		"-checkpoint", ckpt, "-checkpoint-every", "10", "-trace-events", trace}
-	if err := run(args, io.Discard, io.Discard); err != nil {
+	if err := run(context.Background(), args, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	data, err := os.ReadFile(trace)
@@ -112,14 +113,14 @@ func TestTraceEventsCoverCheckpoints(t *testing.T) {
 // TestBadObservabilityFlags pins the failure modes: an unusable telemetry
 // address or trace path fails the run instead of being dropped silently.
 func TestBadObservabilityFlags(t *testing.T) {
-	if err := run([]string{"-count", "1", "-telemetry-addr", "256.0.0.1:bogus"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-count", "1", "-telemetry-addr", "256.0.0.1:bogus"}, io.Discard, io.Discard); err == nil {
 		t.Error("unusable -telemetry-addr must error")
 	}
 	bad := filepath.Join(t.TempDir(), "missing-dir", "trace.jsonl")
-	if err := run([]string{"-count", "1", "-trace-events", bad}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-count", "1", "-trace-events", bad}, io.Discard, io.Discard); err == nil {
 		t.Error("unwritable -trace-events path must error")
 	}
-	if err := run([]string{"-progress", "-1"}, io.Discard, io.Discard); err == nil {
+	if err := run(context.Background(), []string{"-progress", "-1"}, io.Discard, io.Discard); err == nil {
 		t.Error("-progress -1 must error")
 	}
 }

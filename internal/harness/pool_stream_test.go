@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestStreamPoolYieldsInOrder checks the core streaming contract: every
@@ -187,6 +188,36 @@ func TestStreamPoolEarlyBreak(t *testing.T) {
 	}
 	if after < 10 {
 		t.Fatalf("ran %d jobs, yielded 10", after)
+	}
+}
+
+// TestStreamPoolEarlyBreakDrainsInFlight pins the graceful-shutdown
+// contract the CLIs lean on: breaking the consumer loop at a yield
+// boundary not only cancels undispatched work, it *waits* for every
+// in-flight job to run to completion before the range statement
+// returns — so an interrupted campaign's aggregate covers a clean
+// prefix with no half-torn runs behind it.
+func TestStreamPoolEarlyBreakDrainsInFlight(t *testing.T) {
+	var started, finished atomic.Int64
+	for item := range StreamPool(context.Background(), PoolConfig[int]{
+		Total:   1000,
+		Workers: 4,
+		Window:  8,
+		Run: func(i int) int {
+			started.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			finished.Add(1)
+			return i
+		},
+	}) {
+		if item.I == 5 {
+			break
+		}
+	}
+	// The break has returned: the pool goroutines are gone, so the two
+	// counters must agree *now*, not eventually.
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("early break abandoned in-flight jobs: started=%d finished=%d", s, f)
 	}
 }
 

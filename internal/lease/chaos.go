@@ -1,0 +1,78 @@
+package lease
+
+import "pef/internal/prng"
+
+// Action is one fault the chaos layer injects into a worker's handling
+// of a granted block.
+type Action int
+
+const (
+	// ActNone runs the block normally: heartbeats, one ack.
+	ActNone Action = iota
+	// ActKill vanishes with the lease: no heartbeat, no ack. Models a
+	// worker killed right after taking a block — the coordinator must
+	// expire and re-lease it.
+	ActKill
+	// ActStall completes the block but goes silent past the lease
+	// deadline and delivers the ack late. Models a paused/partitioned
+	// worker — the fencing token must reject the late ack.
+	ActStall
+	// ActDoubleAck delivers the same ack twice. Models a worker retrying
+	// a response it never saw confirmed — the second ack must be
+	// absorbed as an idempotent duplicate.
+	ActDoubleAck
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActKill:
+		return "kill"
+	case ActStall:
+		return "stall"
+	case ActDoubleAck:
+		return "double-ack"
+	default:
+		return "none"
+	}
+}
+
+// Chaos is the deterministic fault schedule: the action for a grant is a
+// pure function of (Seed, block, epoch), so a chaos run is reproducible
+// — same seed, same fleet behavior — and CI can pin its merged report
+// against the single-process bytes.
+//
+// Faults are injected only while epoch < MaxEpoch: every block's lease
+// epoch grows on each re-lease, so each block is guaranteed a clean
+// epoch eventually and the campaign always terminates.
+type Chaos struct {
+	// Seed selects the schedule; 0 disables chaos entirely.
+	Seed uint64
+	// MaxEpoch is the first always-clean epoch (values < 1 mean 2: the
+	// schedule may misbehave on a block's first two grants).
+	MaxEpoch int
+}
+
+// Action returns the scheduled fault for one grant. Nil receiver or zero
+// seed: ActNone.
+func (c *Chaos) Action(block, epoch int) Action {
+	if c == nil || c.Seed == 0 {
+		return ActNone
+	}
+	max := c.MaxEpoch
+	if max < 1 {
+		max = 2
+	}
+	if epoch >= max {
+		return ActNone
+	}
+	switch prng.Hash3(c.Seed, uint64(block), uint64(epoch)) % 4 {
+	case 0:
+		return ActKill
+	case 1:
+		return ActStall
+	case 2:
+		return ActDoubleAck
+	default:
+		return ActNone
+	}
+}

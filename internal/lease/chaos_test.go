@@ -1,0 +1,97 @@
+package lease
+
+import "testing"
+
+func TestChaosScheduleIsDeterministic(t *testing.T) {
+	a := &Chaos{Seed: 42}
+	b := &Chaos{Seed: 42}
+	for block := 0; block < 16; block++ {
+		for epoch := 0; epoch < 4; epoch++ {
+			if got, want := a.Action(block, epoch), b.Action(block, epoch); got != want {
+				t.Fatalf("Action(%d, %d) unstable: %v vs %v", block, epoch, got, want)
+			}
+		}
+	}
+	// A different seed selects a different schedule (over a grid this
+	// size, collision would mean the seed is ignored).
+	c := &Chaos{Seed: 43}
+	same := true
+	for block := 0; block < 16 && same; block++ {
+		for epoch := 0; epoch < 2; epoch++ {
+			if a.Action(block, epoch) != c.Action(block, epoch) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules over 32 grants")
+	}
+}
+
+func TestChaosEpochCutoffGuaranteesTermination(t *testing.T) {
+	c := &Chaos{Seed: 7}
+	for block := 0; block < 64; block++ {
+		for epoch := 2; epoch < 8; epoch++ { // default MaxEpoch is 2
+			if act := c.Action(block, epoch); act != ActNone {
+				t.Fatalf("Action(%d, %d)=%v past the cutoff, want none", block, epoch, act)
+			}
+		}
+	}
+	wide := &Chaos{Seed: 7, MaxEpoch: 4}
+	misbehaved := false
+	for block := 0; block < 64; block++ {
+		for epoch := 2; epoch < 4; epoch++ {
+			if wide.Action(block, epoch) != ActNone {
+				misbehaved = true
+			}
+		}
+		if act := wide.Action(block, 4); act != ActNone {
+			t.Fatalf("Action(%d, 4)=%v past MaxEpoch=4, want none", block, act)
+		}
+	}
+	if !misbehaved {
+		t.Fatal("MaxEpoch=4 never injected a fault in epochs [2, 4) over 64 blocks")
+	}
+}
+
+func TestChaosDisabled(t *testing.T) {
+	var nilChaos *Chaos
+	for block := 0; block < 8; block++ {
+		if act := nilChaos.Action(block, 0); act != ActNone {
+			t.Fatalf("nil chaos Action(%d, 0)=%v, want none", block, act)
+		}
+		if act := (&Chaos{}).Action(block, 0); act != ActNone {
+			t.Fatalf("zero-seed chaos Action(%d, 0)=%v, want none", block, act)
+		}
+	}
+}
+
+func TestChaosCoversEveryAction(t *testing.T) {
+	c := &Chaos{Seed: 1}
+	seen := map[Action]bool{}
+	for block := 0; block < 64; block++ {
+		for epoch := 0; epoch < 2; epoch++ {
+			seen[c.Action(block, epoch)] = true
+		}
+	}
+	for _, act := range []Action{ActNone, ActKill, ActStall, ActDoubleAck} {
+		if !seen[act] {
+			t.Fatalf("schedule for seed 1 never produced %v over 128 grants", act)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[Action]string{
+		ActNone:      "none",
+		ActKill:      "kill",
+		ActStall:     "stall",
+		ActDoubleAck: "double-ack",
+	}
+	for act, want := range cases {
+		if got := act.String(); got != want {
+			t.Fatalf("%d.String()=%q, want %q", act, got, want)
+		}
+	}
+}

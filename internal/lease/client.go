@@ -1,0 +1,332 @@
+package lease
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"pef/internal/prng"
+)
+
+// WorkerConfig parameterizes Work, the client side of the lease
+// protocol.
+type WorkerConfig struct {
+	// URL is the coordinator's base URL (e.g. "http://127.0.0.1:7077").
+	URL string
+	// ID names the worker in grants and logs.
+	ID string
+	// Run executes one leased block and returns its encoded checkpoint
+	// (scenario.Checkpoint.Encode bytes). The context is cancelled when
+	// the worker learns mid-run that its lease was fenced away — the
+	// block belongs to someone else, so the result would be discarded.
+	Run func(ctx context.Context, g Grant) ([]byte, error)
+	// Chaos, when non-nil, deterministically injects faults per
+	// (block, epoch) — see Chaos. Nil means a well-behaved worker.
+	Chaos *Chaos
+	// MaxRetries bounds transport-level retries per request (values < 1
+	// mean 8); each retry backs off exponentially from Backoff (values
+	// <= 0 mean 100ms) with deterministic seeded jitter.
+	MaxRetries int
+	Backoff    time.Duration
+	// JitterSeed seeds the backoff jitter; 0 derives one from ID so two
+	// workers retrying together do not stay in lockstep.
+	JitterSeed uint64
+	// Client is the HTTP client; nil means a fresh one with sane
+	// timeouts.
+	Client *http.Client
+	// Logf, when non-nil, receives worker lifecycle lines (lease grants,
+	// chaos actions, fencing rejections). Diagnostic only.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *WorkerConfig) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// Work leases blocks from the coordinator until the campaign reports
+// done, running each through cfg.Run and acking the checkpoint under the
+// grant's fencing token. Lost leases (ErrStale on heartbeat or ack) are
+// abandoned quietly — the re-leased owner's bytes are identical, so
+// correctness never depends on which incarnation delivered a block.
+//
+// Work returns nil when the coordinator reports the campaign done, and
+// an error when the campaign failed, the context was cancelled, retries
+// were exhausted against an unreachable coordinator, or a chaos
+// experiment observed a protocol violation (a late ack that should have
+// been fenced but was accepted).
+func Work(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Run == nil {
+		return errors.New("lease: WorkerConfig.Run is required")
+	}
+	if cfg.ID == "" {
+		cfg.ID = "worker"
+	}
+	if cfg.MaxRetries < 1 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = hashString(cfg.ID)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	requests := uint64(0) // jitter stream position across the worker's life
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp LeaseResponse
+		if err := cfg.post(ctx, "/lease", LeaseRequest{Worker: cfg.ID}, &resp, &requests); err != nil {
+			return fmt.Errorf("lease: %s: lease request: %w", cfg.ID, err)
+		}
+		switch {
+		case resp.Failed != "":
+			return fmt.Errorf("lease: %s: campaign failed: %s", cfg.ID, resp.Failed)
+		case resp.Done:
+			cfg.logf("%s: campaign done", cfg.ID)
+			return nil
+		case resp.Grant == nil:
+			wait := time.Duration(resp.RetryMillis) * time.Millisecond
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
+			continue
+		}
+		g := *resp.Grant
+		if err := cfg.workBlock(ctx, g, &requests); err != nil {
+			return err
+		}
+	}
+}
+
+// workBlock runs one granted block under the chaos plan.
+func (cfg *WorkerConfig) workBlock(ctx context.Context, g Grant, requests *uint64) error {
+	act := cfg.Chaos.Action(g.Block, g.Epoch)
+	cfg.logf("%s: leased block %d [%d, %d) epoch=%d token=%d chaos=%s",
+		cfg.ID, g.Block, g.Start, g.End, g.Epoch, g.Token, act)
+	switch act {
+	case ActKill:
+		// Vanish with the lease: no heartbeat, no ack. The coordinator
+		// must expire the lease and re-lease the block.
+		return nil
+	case ActStall:
+		// Complete the work but go silent past the lease deadline, then
+		// deliver the ack late. The fencing token must reject it — an
+		// accepted late ack is a protocol violation worth failing loudly.
+		ckpt, err := cfg.Run(ctx, g)
+		if err != nil {
+			return cfg.runFailure(g, err)
+		}
+		stall := time.Duration(g.TimeoutMillis)*time.Millisecond*3/2 + 10*time.Millisecond
+		if err := sleepCtx(ctx, stall); err != nil {
+			return err
+		}
+		_, err = cfg.ack(ctx, g, ckpt, requests)
+		if err == nil {
+			return fmt.Errorf("lease: %s: FENCING VIOLATION: late ack for block %d (token %d) was accepted after the lease expired",
+				cfg.ID, g.Block, g.Token)
+		}
+		if !errors.Is(err, ErrStale) {
+			return fmt.Errorf("lease: %s: stalled ack for block %d: %w", cfg.ID, g.Block, err)
+		}
+		cfg.logf("%s: late ack for block %d correctly fenced", cfg.ID, g.Block)
+		return nil
+	}
+
+	// Healthy path (and double-ack): heartbeat while running, then ack.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fenced := make(chan struct{})
+	stop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := time.Duration(g.HeartbeatMillis) * time.Millisecond
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		beats := uint64(0)
+		for {
+			select {
+			case <-t.C:
+				beats++
+				err := cfg.post(runCtx, "/heartbeat",
+					HeartbeatRequest{Worker: cfg.ID, Block: g.Block, Token: g.Token}, &struct{}{}, &beats)
+				if errors.Is(err, ErrStale) {
+					// The lease moved on without us: abandon the run, its
+					// result would be fenced anyway.
+					close(fenced)
+					cancel()
+					return
+				}
+			case <-stop:
+				return
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	ckpt, err := cfg.Run(runCtx, g)
+	close(stop)
+	<-hbDone
+	select {
+	case <-fenced:
+		cfg.logf("%s: lease on block %d fenced away mid-run; abandoning", cfg.ID, g.Block)
+		return nil
+	default:
+	}
+	if err != nil {
+		return cfg.runFailure(g, err)
+	}
+	dup, err := cfg.ack(ctx, g, ckpt, requests)
+	if errors.Is(err, ErrStale) {
+		cfg.logf("%s: ack for block %d fenced (lease expired mid-run); abandoning", cfg.ID, g.Block)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lease: %s: ack for block %d: %w", cfg.ID, g.Block, err)
+	}
+	if dup {
+		cfg.logf("%s: ack for block %d was a duplicate", cfg.ID, g.Block)
+	}
+	if act == ActDoubleAck {
+		// Deliver the same ack again: the coordinator must absorb it as
+		// an idempotent duplicate, not double-count the block.
+		dup, err := cfg.ack(ctx, g, ckpt, requests)
+		if err != nil {
+			return fmt.Errorf("lease: %s: double-ack for block %d rejected: %w", cfg.ID, g.Block, err)
+		}
+		if !dup {
+			return fmt.Errorf("lease: %s: double-ack for block %d not reported as duplicate", cfg.ID, g.Block)
+		}
+		cfg.logf("%s: double-ack for block %d absorbed as duplicate", cfg.ID, g.Block)
+	}
+	return nil
+}
+
+// runFailure classifies a Run error: context cancellation propagates,
+// anything else is a hard worker failure (the block will be re-leased,
+// but a worker that cannot run blocks should say so and exit non-zero).
+func (cfg *WorkerConfig) runFailure(g Grant, err error) error {
+	return fmt.Errorf("lease: %s: running block %d: %w", cfg.ID, g.Block, err)
+}
+
+func (cfg *WorkerConfig) ack(ctx context.Context, g Grant, ckpt []byte, requests *uint64) (bool, error) {
+	var resp AckResponse
+	err := cfg.post(ctx, "/ack",
+		AckRequest{Worker: cfg.ID, Block: g.Block, Token: g.Token, Checkpoint: ckpt}, &resp, requests)
+	return resp.Duplicate, err
+}
+
+// httpError carries a non-2xx protocol response; fencing rejections
+// (409) wrap ErrStale so callers can errors.Is them.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.code, e.msg) }
+
+func (e *httpError) Unwrap() error {
+	if e.code == http.StatusConflict {
+		return ErrStale
+	}
+	return nil
+}
+
+// post sends one JSON request with bounded exponential backoff and
+// deterministic jitter on transport failures. Protocol rejections (4xx)
+// are returned immediately — retrying a fenced ack cannot unfence it.
+func (cfg *WorkerConfig) post(ctx context.Context, path string, body, out any, stream *uint64) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	*stream++
+	var last error
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff with ±50% deterministic jitter: the
+			// factor comes from the worker's seeded stream, so retry
+			// schedules are reproducible per (worker, request, attempt).
+			d := cfg.Backoff << (attempt - 1)
+			f := 0.5 + prng.Float64At(cfg.JitterSeed, *stream, uint64(attempt))
+			d = time.Duration(float64(d) * f)
+			if err := sleepCtx(ctx, d); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := cfg.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			last = err
+			continue // transport failure: retry
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			last = &httpError{code: resp.StatusCode, msg: string(data)}
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			var eb errorBody
+			msg := string(data)
+			if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+				msg = eb.Error
+			}
+			return &httpError{code: resp.StatusCode, msg: msg}
+		}
+		return json.Unmarshal(data, out)
+	}
+	return fmt.Errorf("lease: %d retries exhausted: %w", cfg.MaxRetries, last)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// hashString derives a stable seed from a worker ID (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

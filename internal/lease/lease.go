@@ -1,0 +1,509 @@
+// Package lease is the fault-tolerant work fabric behind multi-process
+// campaigns: a coordinator partitions a campaign's canonical spec stream
+// into contiguous blocks and leases them to worker processes, tracking
+// heartbeats so a worker that dies — or vanishes with its lease — loses
+// the block to a bounded re-lease instead of losing the campaign.
+//
+// The design is leader-authoritative with per-lease epochs and fencing
+// tokens: every grant of a block carries a fresh globally-monotonic
+// token, and heartbeats and acks quoting a superseded token are rejected
+// (ErrStale), so a stale worker that stalls past its expiry and then
+// tries to deliver a late result cannot race the re-leased owner. Acks
+// are idempotent — re-acking a completed block with its winning token is
+// a harmless duplicate.
+//
+// Determinism is the package's correctness bar, inherited from the rest
+// of the repository: blocks are the same contiguous regions the
+// -shard-index/-shard-count machinery runs ([i·total/B, (i+1)·total/B)),
+// each block's checkpoint is a deterministic function of the campaign
+// identity alone, and the coordinator folds acked checkpoints through
+// scenario.MergeCheckpoints — so the merged report is byte-identical to
+// a single-process run for any worker fleet and any failure pattern.
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pef/internal/scenario"
+	"pef/internal/telemetry"
+)
+
+// ErrStale marks a heartbeat or ack quoting a fencing token that a
+// re-lease (or expiry) has superseded. Workers treat it as "the lease is
+// lost": abandon the block and move on.
+var ErrStale = errors.New("lease: stale fencing token")
+
+// Campaign pins the work the coordinator hands out: the resolved
+// campaign identity (exactly the fields a checkpoint echoes) plus the
+// number of contiguous blocks the canonical stream is split into.
+type Campaign struct {
+	Generator string             `json:"generator"`
+	Gen       scenario.GenConfig `json:"gen"`
+	Count     int                `json:"count"`
+	Seeds     []uint64           `json:"seeds"`
+	// Blocks is the lease granularity: block i covers
+	// [i·total/Blocks, (i+1)·total/Blocks) of the canonical stream —
+	// the same partition -shard-index/-shard-count runs, so block
+	// checkpoints merge through the existing shard machinery.
+	Blocks int `json:"blocks"`
+}
+
+// Total returns the number of scenarios in the campaign's canonical
+// stream.
+func (c Campaign) Total() int { return c.Count * len(c.Seeds) }
+
+// Block returns the [start, end) bounds of block i.
+func (c Campaign) Block(i int) (start, end int) {
+	total := c.Total()
+	return i * total / c.Blocks, (i + 1) * total / c.Blocks
+}
+
+// Grant is one lease: a block, its bounds, the lease epoch (how many
+// grants of this block preceded it) and the fencing token every
+// heartbeat and the final ack must quote. HeartbeatMillis is the cadence
+// the coordinator expects; TimeoutMillis is how long silence lasts
+// before the lease expires and the block is re-leased.
+type Grant struct {
+	Worker          string   `json:"worker"`
+	Block           int      `json:"block"`
+	Start           int      `json:"start"`
+	End             int      `json:"end"`
+	Epoch           int      `json:"epoch"`
+	Token           uint64   `json:"token"`
+	HeartbeatMillis int64    `json:"heartbeatMillis"`
+	TimeoutMillis   int64    `json:"timeoutMillis"`
+	Campaign        Campaign `json:"campaign"`
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Campaign identifies the work; Generator/Gen/Count/Seeds are
+	// resolved to the same defaults a campaign run applies, so grant
+	// payloads and checkpoint identities agree field for field.
+	Campaign Campaign
+	// HeartbeatTimeout is how long a lease survives without a heartbeat
+	// before its block is re-leased. Values <= 0 mean 5s.
+	HeartbeatTimeout time.Duration
+	// MaxEpochs bounds re-leasing: a block granted this many times
+	// without an ack fails the campaign loudly (a block that can never
+	// complete must not spin forever). Values <= 0 mean 16.
+	MaxEpochs int
+	// Registry, when non-nil, receives the coordinator's telemetry
+	// (lease.granted/reLeased/expired/acked/... counters and the
+	// lease.ackLatencyMillis histogram). Observational only.
+	Registry *telemetry.Registry
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// blockState tracks one block of the campaign through the lease
+// lifecycle.
+type blockState struct {
+	state     int // blockPending | blockLeased | blockDone
+	epoch     int // grants so far
+	token     uint64
+	worker    string
+	deadline  time.Time
+	grantedAt time.Time
+}
+
+const (
+	blockPending = iota
+	blockLeased
+	blockDone
+)
+
+// Coordinator is the leader: it grants block leases, expires silent
+// ones, fences stale acks, and folds accepted block checkpoints into the
+// canonical campaign aggregate.
+type Coordinator struct {
+	cfg     Config
+	camp    Campaign
+	timeout time.Duration
+	now     func() time.Time
+
+	mu     sync.Mutex
+	blocks []blockState
+	ckpts  []*scenario.Checkpoint // by block index; non-nil when acked
+	next   uint64                 // fencing token source (monotonic, never reused)
+	acked  int
+	failed error
+	done   chan struct{}
+
+	// Plain counters back Status and the end-of-run summary; the
+	// telemetry instruments mirror them for live /metrics scraping.
+	granted, reLeased, expired  int64
+	acks, dupAcks, staleAcks    int64
+	heartbeats, staleHeartbeats int64
+	cGranted, cReLeased         *telemetry.Counter
+	cExpired, cAcks, cDupAcks   *telemetry.Counter
+	cStaleAcks, cHeartbeats     *telemetry.Counter
+	cStaleHeartbeats            *telemetry.Counter
+	ackLatency                  *telemetry.Hist
+}
+
+// New validates the campaign, resolves its identity to the same defaults
+// a campaign run applies, and returns a coordinator with every block
+// pending.
+func New(cfg Config) (*Coordinator, error) {
+	camp := cfg.Campaign
+	// Resolve the identity through the aggregate constructor so grants
+	// carry exactly the fields block checkpoints will echo back.
+	agg, err := scenario.NewAggregate(scenario.CampaignConfig{
+		Generator: camp.Generator,
+		Gen:       camp.Gen,
+		Count:     camp.Count,
+		Seeds:     camp.Seeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	camp.Generator = agg.Generator
+	camp.Gen = agg.Gen
+	camp.Count = agg.Count
+	camp.Seeds = agg.Seeds
+	// A one-spec dry sample catches unknown generators and bounds the
+	// samplers cannot honor before any worker is involved.
+	if _, err := scenario.Generate(camp.Generator, camp.Gen, camp.Seeds[0], 1); err != nil {
+		return nil, err
+	}
+	total := camp.Total()
+	if camp.Blocks < 1 {
+		camp.Blocks = 8
+	}
+	if camp.Blocks > total {
+		camp.Blocks = total // every block must be non-empty
+	}
+	timeout := cfg.HeartbeatTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 16
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	reg := cfg.Registry
+	return &Coordinator{
+		cfg:              cfg,
+		camp:             camp,
+		timeout:          timeout,
+		now:              now,
+		blocks:           make([]blockState, camp.Blocks),
+		ckpts:            make([]*scenario.Checkpoint, camp.Blocks),
+		done:             make(chan struct{}),
+		cGranted:         reg.Counter("lease.granted"),
+		cReLeased:        reg.Counter("lease.reLeased"),
+		cExpired:         reg.Counter("lease.expired"),
+		cAcks:            reg.Counter("lease.acked"),
+		cDupAcks:         reg.Counter("lease.ackDuplicate"),
+		cStaleAcks:       reg.Counter("lease.ackStale"),
+		cHeartbeats:      reg.Counter("lease.heartbeats"),
+		cStaleHeartbeats: reg.Counter("lease.heartbeatStale"),
+		ackLatency:       reg.Hist("lease.ackLatencyMillis"),
+	}, nil
+}
+
+// Campaign returns the resolved campaign identity the coordinator hands
+// out in grants.
+func (c *Coordinator) Campaign() Campaign { return c.camp }
+
+// Timeout returns the effective heartbeat timeout.
+func (c *Coordinator) Timeout() time.Duration { return c.timeout }
+
+// Done is closed when the campaign completes — every block acked — or
+// fails (a block exhausted MaxEpochs). Result distinguishes the two.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// LeaseResponse is the coordinator's answer to a lease request: a grant,
+// a "come back in RetryMillis" wait (everything leased, nothing
+// expired), Done (campaign complete: the worker should exit), or Failed.
+type LeaseResponse struct {
+	Grant       *Grant `json:"grant,omitempty"`
+	RetryMillis int64  `json:"retryMillis,omitempty"`
+	Done        bool   `json:"done,omitempty"`
+	Failed      string `json:"failed,omitempty"`
+}
+
+// Lease grants the lowest-index pending block to worker, expiring silent
+// leases first. When nothing is pending it returns a wait hint sized to
+// the nearest lease deadline.
+func (c *Coordinator) Lease(worker string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireLocked(now)
+	if c.failed != nil {
+		return LeaseResponse{Failed: c.failed.Error()}
+	}
+	if c.acked == len(c.blocks) {
+		return LeaseResponse{Done: true}
+	}
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		if b.state != blockPending {
+			continue
+		}
+		if b.epoch >= c.cfg.MaxEpochs {
+			c.failLocked(fmt.Errorf("lease: block %d exhausted %d lease epochs without an ack", i, b.epoch))
+			return LeaseResponse{Failed: c.failed.Error()}
+		}
+		epoch := b.epoch
+		b.epoch++
+		c.next++
+		b.state = blockLeased
+		b.token = c.next
+		b.worker = worker
+		b.grantedAt = now
+		b.deadline = now.Add(c.timeout)
+		c.granted++
+		c.cGranted.Inc()
+		if epoch > 0 {
+			c.reLeased++
+			c.cReLeased.Inc()
+		}
+		start, end := c.camp.Block(i)
+		hb := c.timeout / 3
+		if hb < time.Millisecond {
+			hb = time.Millisecond
+		}
+		return LeaseResponse{Grant: &Grant{
+			Worker:          worker,
+			Block:           i,
+			Start:           start,
+			End:             end,
+			Epoch:           epoch,
+			Token:           b.token,
+			HeartbeatMillis: hb.Milliseconds(),
+			TimeoutMillis:   c.timeout.Milliseconds(),
+			Campaign:        c.camp,
+		}}
+	}
+	// Everything in flight: tell the worker when the earliest lease could
+	// expire so it polls neither hot nor lazily.
+	retry := c.timeout
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		if b.state == blockLeased {
+			if d := b.deadline.Sub(now); d < retry {
+				retry = d
+			}
+		}
+	}
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	return LeaseResponse{RetryMillis: retry.Milliseconds()}
+}
+
+// Heartbeat extends the lease on block quoting token. A token superseded
+// by expiry or re-lease earns ErrStale — the worker's signal to abandon
+// the block.
+func (c *Coordinator) Heartbeat(block int, token uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireLocked(now)
+	if block < 0 || block >= len(c.blocks) {
+		return fmt.Errorf("lease: heartbeat for unknown block %d", block)
+	}
+	b := &c.blocks[block]
+	if b.state != blockLeased || b.token != token {
+		c.staleHeartbeats++
+		c.cStaleHeartbeats.Inc()
+		return fmt.Errorf("%w (heartbeat for block %d)", ErrStale, block)
+	}
+	b.deadline = now.Add(c.timeout)
+	c.heartbeats++
+	c.cHeartbeats.Inc()
+	return nil
+}
+
+// Ack delivers block's completed checkpoint under token. Fencing: a
+// token superseded by expiry or re-lease is rejected with ErrStale even
+// if the payload is valid — the re-leased owner's ack is authoritative.
+// Re-acking a done block with its winning token reports duplicate=true
+// and succeeds (idempotence); checkpoints that fail to decode, mismatch
+// the campaign identity, or do not exactly cover the block are rejected.
+func (c *Coordinator) Ack(block int, token uint64, data []byte) (duplicate bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireLocked(now)
+	if block < 0 || block >= len(c.blocks) {
+		return false, fmt.Errorf("lease: ack for unknown block %d", block)
+	}
+	b := &c.blocks[block]
+	if b.state == blockDone {
+		if b.token == token {
+			c.dupAcks++
+			c.cDupAcks.Inc()
+			return true, nil
+		}
+		c.staleAcks++
+		c.cStaleAcks.Inc()
+		return false, fmt.Errorf("%w (late ack for completed block %d)", ErrStale, block)
+	}
+	if b.state != blockLeased || b.token != token {
+		c.staleAcks++
+		c.cStaleAcks.Inc()
+		return false, fmt.Errorf("%w (ack for block %d)", ErrStale, block)
+	}
+	ckpt, derr := scenario.DecodeCheckpoint(data)
+	if derr != nil {
+		return false, fmt.Errorf("lease: block %d checkpoint rejected: %w", block, derr)
+	}
+	if verr := c.validateBlockCheckpoint(block, ckpt); verr != nil {
+		return false, verr
+	}
+	b.state = blockDone
+	c.ckpts[block] = ckpt
+	c.acked++
+	c.acks++
+	c.cAcks.Inc()
+	c.ackLatency.Observe(int(now.Sub(b.grantedAt).Milliseconds()))
+	if c.acked == len(c.blocks) {
+		close(c.done)
+	}
+	return false, nil
+}
+
+// validateBlockCheckpoint rejects a checkpoint whose campaign identity
+// or block coverage disagrees with the grant — a confused (or byzantine)
+// worker must not smuggle foreign results into the merge.
+func (c *Coordinator) validateBlockCheckpoint(block int, ckpt *scenario.Checkpoint) error {
+	if ckpt.Generator != c.camp.Generator || ckpt.Count != c.camp.Count ||
+		ckpt.Gen != c.camp.Gen || !equalSeeds(ckpt.Seeds, c.camp.Seeds) {
+		return fmt.Errorf("lease: block %d checkpoint describes a different campaign (%s/%d/%v, want %s/%d/%v)",
+			block, ckpt.Generator, ckpt.Count, ckpt.Seeds, c.camp.Generator, c.camp.Count, c.camp.Seeds)
+	}
+	start, end := c.camp.Block(block)
+	if ckpt.Start != start || ckpt.End != end {
+		return fmt.Errorf("lease: block %d checkpoint covers [%d, %d), want [%d, %d)",
+			block, ckpt.Start, ckpt.End, start, end)
+	}
+	if ckpt.Done != end-start {
+		return fmt.Errorf("lease: block %d checkpoint is incomplete (%d of %d scenarios)",
+			block, ckpt.Done, end-start)
+	}
+	return nil
+}
+
+// Expire sweeps lease deadlines against the clock, returning pending any
+// block whose worker went silent. Request handling sweeps implicitly;
+// servers also tick this so expiry does not depend on request traffic.
+func (c *Coordinator) Expire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.now())
+}
+
+func (c *Coordinator) expireLocked(now time.Time) {
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		if b.state == blockLeased && now.After(b.deadline) {
+			b.state = blockPending
+			b.token = 0 // invalidate: a late ack must not match
+			c.expired++
+			c.cExpired.Inc()
+		}
+	}
+}
+
+// failLocked latches the first fatal error and wakes waiters.
+func (c *Coordinator) failLocked(err error) {
+	if c.failed == nil {
+		c.failed = err
+		close(c.done)
+	}
+}
+
+// Result returns the merged whole-campaign aggregate once Done is
+// closed: byte-identical to a single-process run of the same campaign.
+func (c *Coordinator) Result() (*scenario.Aggregate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	if c.acked != len(c.blocks) {
+		return nil, fmt.Errorf("lease: campaign incomplete (%d of %d blocks acked)", c.acked, len(c.blocks))
+	}
+	return scenario.MergeCheckpoints(c.ckpts...)
+}
+
+// Status is a point-in-time summary of the lease fabric, served as JSON
+// by /status and rendered into the end-of-run summary line.
+type Status struct {
+	Blocks          int    `json:"blocks"`
+	Acked           int    `json:"acked"`
+	Leased          int    `json:"leased"`
+	Pending         int    `json:"pending"`
+	Done            bool   `json:"done"`
+	Granted         int64  `json:"granted"`
+	ReLeased        int64  `json:"reLeased"`
+	Expired         int64  `json:"expired"`
+	Acks            int64  `json:"acks"`
+	DupAcks         int64  `json:"dupAcks"`
+	StaleAcks       int64  `json:"staleAcks"`
+	Heartbeats      int64  `json:"heartbeats"`
+	StaleHeartbeats int64  `json:"staleHeartbeats"`
+	Failed          string `json:"failed,omitempty"`
+}
+
+// Status reports the current lease-fabric state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Blocks:          len(c.blocks),
+		Acked:           c.acked,
+		Done:            c.failed == nil && c.acked == len(c.blocks),
+		Granted:         c.granted,
+		ReLeased:        c.reLeased,
+		Expired:         c.expired,
+		Acks:            c.acks,
+		DupAcks:         c.dupAcks,
+		StaleAcks:       c.staleAcks,
+		Heartbeats:      c.heartbeats,
+		StaleHeartbeats: c.staleHeartbeats,
+	}
+	for i := range c.blocks {
+		switch c.blocks[i].state {
+		case blockLeased:
+			s.Leased++
+		case blockPending:
+			s.Pending++
+		}
+	}
+	if c.failed != nil {
+		s.Failed = c.failed.Error()
+	}
+	return s
+}
+
+// Summary renders the one-line recovery accounting printed at the end of
+// a coordinator run. At completion every expired lease has been
+// re-leased, so expired == reLeased — the observable recovery invariant
+// CI asserts.
+func (s Status) Summary() string {
+	return fmt.Sprintf("lease summary: blocks=%d acked=%d granted=%d reLeased=%d expired=%d dupAcks=%d staleAcks=%d staleHeartbeats=%d",
+		s.Blocks, s.Acked, s.Granted, s.ReLeased, s.Expired, s.DupAcks, s.StaleAcks, s.StaleHeartbeats)
+}
+
+func equalSeeds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

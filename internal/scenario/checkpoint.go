@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -40,6 +42,13 @@ type Checkpoint struct {
 	Families   []FamilyStats         `json:"families,omitempty"`
 	Scalars    []metrics.ScalarState `json:"scalars,omitempty"`
 	Violations []Verdict             `json:"violations,omitempty"`
+	// Checksum is the hex SHA-256 of the checkpoint's content (the
+	// indented JSON rendering with this field empty). Encode always
+	// writes it; DecodeCheckpoint verifies it when present, so a
+	// truncated or bit-flipped checkpoint fails loudly instead of
+	// resuming a silently diverged campaign. Checkpoints from before the
+	// field simply lack it and skip the check.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // Checkpoint snapshots the aggregate as a resumable checkpoint. The
@@ -128,21 +137,53 @@ func (c *Checkpoint) effEnd(total int) int {
 	return c.End
 }
 
-// Encode renders the checkpoint as indented JSON.
+// Encode renders the checkpoint as indented JSON with its content
+// checksum filled in.
 func (c *Checkpoint) Encode() ([]byte, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
-	return json.MarshalIndent(c, "", "  ")
+	cp := *c
+	sum, err := cp.contentChecksum()
+	if err != nil {
+		return nil, err
+	}
+	cp.Checksum = sum
+	return json.MarshalIndent(&cp, "", "  ")
 }
 
-// DecodeCheckpoint parses and validates an encoded checkpoint.
+// contentChecksum hashes the checkpoint's content: the indented JSON
+// rendering with the Checksum field cleared, so the stored hash covers
+// every other byte of the file.
+func (c *Checkpoint) contentChecksum() (string, error) {
+	cp := *c
+	cp.Checksum = ""
+	body, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// DecodeCheckpoint parses and validates an encoded checkpoint,
+// verifying the content checksum when one is present.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	var c Checkpoint
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&c); err != nil {
 		return nil, fmt.Errorf("scenario: decode checkpoint: %w", err)
+	}
+	if c.Checksum != "" {
+		want, err := c.contentChecksum()
+		if err != nil {
+			return nil, err
+		}
+		if c.Checksum != want {
+			return nil, fmt.Errorf("scenario: checkpoint checksum mismatch (file is corrupt or truncated): stored %s, content %s",
+				c.Checksum, want)
+		}
 	}
 	if err := c.validate(); err != nil {
 		return nil, err
