@@ -10,7 +10,7 @@ import (
 	"net/http"
 	"time"
 
-	"pef/internal/prng"
+	"pef/internal/retry"
 )
 
 // WorkerConfig parameterizes Work, the client side of the lease
@@ -75,7 +75,7 @@ func Work(ctx context.Context, cfg WorkerConfig) error {
 		cfg.Backoff = 100 * time.Millisecond
 	}
 	if cfg.JitterSeed == 0 {
-		cfg.JitterSeed = hashString(cfg.ID)
+		cfg.JitterSeed = retry.SeedString(cfg.ID)
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
@@ -249,50 +249,38 @@ func (e *httpError) Unwrap() error {
 	return nil
 }
 
-// post sends one JSON request with bounded exponential backoff and
-// deterministic jitter on transport failures. Protocol rejections (4xx)
-// are returned immediately — retrying a fenced ack cannot unfence it.
+// post sends one JSON request through the shared retry discipline:
+// bounded exponential backoff with deterministic jitter on transport
+// failures and 5xx responses, reproducible per (worker, request,
+// attempt). Protocol rejections (4xx) are returned immediately —
+// retrying a fenced ack cannot unfence it.
 func (cfg *WorkerConfig) post(ctx context.Context, path string, body, out any, stream *uint64) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
 	*stream++
-	var last error
-	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			// Exponential backoff with ±50% deterministic jitter: the
-			// factor comes from the worker's seeded stream, so retry
-			// schedules are reproducible per (worker, request, attempt).
-			d := cfg.Backoff << (attempt - 1)
-			f := 0.5 + prng.Float64At(cfg.JitterSeed, *stream, uint64(attempt))
-			d = time.Duration(float64(d) * f)
-			if err := sleepCtx(ctx, d); err != nil {
-				return err
-			}
-		}
+	pol := retry.Policy{MaxRetries: cfg.MaxRetries, Base: cfg.Backoff, Seed: cfg.JitterSeed}
+	return retry.Do(ctx, pol, *stream, func(int) (bool, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL+path, bytes.NewReader(payload))
 		if err != nil {
-			return err
+			return false, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := cfg.Client.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return false, ctx.Err()
 			}
-			last = err
-			continue // transport failure: retry
+			return true, err // transport failure: retry
 		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			last = err
-			continue
+			return true, err
 		}
 		if resp.StatusCode >= 500 {
-			last = &httpError{code: resp.StatusCode, msg: string(data)}
-			continue
+			return true, &httpError{code: resp.StatusCode, msg: string(data)}
 		}
 		if resp.StatusCode >= 400 {
 			var eb errorBody
@@ -300,33 +288,12 @@ func (cfg *WorkerConfig) post(ctx context.Context, path string, body, out any, s
 			if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
 				msg = eb.Error
 			}
-			return &httpError{code: resp.StatusCode, msg: msg}
+			return false, &httpError{code: resp.StatusCode, msg: msg}
 		}
-		return json.Unmarshal(data, out)
-	}
-	return fmt.Errorf("lease: %d retries exhausted: %w", cfg.MaxRetries, last)
+		return false, json.Unmarshal(data, out)
+	})
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// hashString derives a stable seed from a worker ID (FNV-1a).
-func hashString(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	if h == 0 {
-		h = 1
-	}
-	return h
+	return retry.Sleep(ctx, d)
 }

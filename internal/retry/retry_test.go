@@ -1,0 +1,124 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDelayDeterministicAndBounded pins the jitter contract: the same
+// (policy, stream, attempt) always yields the same delay, the delay sits
+// inside [0.5, 1.5)×Base<<(attempt-1), and distinct streams or seeds
+// decorrelate.
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Seed: 7}
+	for attempt := uint64(1); attempt <= 4; attempt++ {
+		d1 := p.Delay(3, attempt)
+		d2 := p.Delay(3, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		base := p.Base << (attempt - 1)
+		lo, hi := base/2, base+base/2
+		if d1 < lo || d1 >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d1, lo, hi)
+		}
+	}
+	if p.Delay(3, 1) == p.Delay(4, 1) {
+		t.Fatal("distinct streams produced identical jitter")
+	}
+	q := Policy{Base: 100 * time.Millisecond, Seed: 8}
+	if p.Delay(3, 1) == q.Delay(3, 1) {
+		t.Fatal("distinct seeds produced identical jitter")
+	}
+}
+
+func TestDoRetriesTransientFailures(t *testing.T) {
+	p := Policy{MaxRetries: 5, Base: time.Nanosecond, Seed: 1}
+	attempts := 0
+	err := Do(context.Background(), p, 1, func(int) (bool, error) {
+		attempts++
+		if attempts < 3 {
+			return true, errors.New("transient")
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestDoPermanentErrorReturnsImmediately(t *testing.T) {
+	p := Policy{MaxRetries: 5, Base: time.Nanosecond}
+	perm := errors.New("permanent")
+	attempts := 0
+	err := Do(context.Background(), p, 1, func(int) (bool, error) {
+		attempts++
+		return false, perm
+	})
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v, want %v", err, perm)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retries on permanent errors)", attempts)
+	}
+}
+
+func TestDoExhaustsRetries(t *testing.T) {
+	p := Policy{MaxRetries: 2, Base: time.Nanosecond}
+	inner := errors.New("down")
+	attempts := 0
+	err := Do(context.Background(), p, 1, func(int) (bool, error) {
+		attempts++
+		return true, inner
+	})
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatalf("exhaustion error does not wrap the last failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "2 retries exhausted") {
+		t.Fatalf("exhaustion error = %q", err)
+	}
+}
+
+func TestDoContextCancelledDuringBackoff(t *testing.T) {
+	p := Policy{MaxRetries: 3, Base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, p, 1, func(int) (bool, error) {
+		return true, errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSleepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancelled context: %v", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0): %v", err)
+	}
+}
+
+func TestSeedStringStableAndNonZero(t *testing.T) {
+	if SeedString("w1") != SeedString("w1") {
+		t.Fatal("SeedString not stable")
+	}
+	if SeedString("w1") == SeedString("w2") {
+		t.Fatal("distinct IDs collided")
+	}
+	if SeedString("") == 0 {
+		t.Fatal("SeedString must never return 0 (a zero seed would alias the default)")
+	}
+}

@@ -71,12 +71,32 @@ type CampaignConfig struct {
 	// Purely observational — verdict streams and every report stay
 	// byte-identical with or without it.
 	Telemetry *Telemetry
+	// Cache, when non-nil, intercepts execution per spec: looked-up
+	// verdicts replace engine runs, freshly computed clean verdicts are
+	// offered to Store. Streams and reports stay byte-identical with any
+	// correct cache attached, because per-spec verdicts are already
+	// invariant under engine blocking (lockstep vs scalar, any lane
+	// width) and a cache only substitutes a spec's own stored verdict.
+	Cache VerdictCache
 	// Trace, when non-nil, receives structured campaign lifecycle events
 	// (campaign-start, block-retired) as JSONL. Events are emitted from
 	// the single-threaded emission path with monotonic sequence numbers
 	// and no wall clocks, so a trace file is byte-identical for any
 	// worker count.
 	Trace *telemetry.Tracer
+}
+
+// VerdictCache is the campaign-side face of a verdict store (pefserve's
+// content-addressed cache implements it). Lookup returns the verdict of
+// a previously executed identical spec; Store offers a freshly computed
+// one. Both are called concurrently from pool workers and must be safe
+// for concurrent use. Implementations must return verdicts exactly as
+// stored — the campaign trusts them byte for byte. Verdicts carrying an
+// execution error (Err != "", which includes cancellations) are never
+// offered to Store.
+type VerdictCache interface {
+	Lookup(s Spec) (Verdict, bool)
+	Store(s Spec, v Verdict)
 }
 
 // registry resolves the effective registry of the config.
@@ -316,19 +336,34 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 			Run: func(i int) []Verdict {
 				block := ring[i%window]
 				opts := RunOptions{Registry: reg, Telemetry: rcfg.Telemetry}
-				if rcfg.DisableLockstep {
-					vs := make([]Verdict, len(block))
-					for j, s := range block {
-						v, rerr := RunWith(ctx, s, opts)
-						if rerr != nil && v.Err == "" {
-							v.Err = rerr.Error()
-							v.OK = false
-						}
-						vs[j] = v
-					}
-					return vs
+				if rcfg.Cache == nil {
+					return runSpecs(ctx, block, opts, rcfg.DisableLockstep)
 				}
-				return RunBlock(ctx, block, opts)
+				// Cached path: serve hits from the store and run only the
+				// miss subset as its own block. Safe for byte-identity:
+				// per-spec verdicts are invariant under blocking, so the
+				// miss sub-block computes exactly the bytes the full block
+				// would have.
+				vs := make([]Verdict, len(block))
+				var misses []Spec
+				var missAt []int
+				for j, s := range block {
+					if v, ok := rcfg.Cache.Lookup(s); ok {
+						vs[j] = v
+						continue
+					}
+					misses = append(misses, s)
+					missAt = append(missAt, j)
+				}
+				if len(misses) > 0 {
+					for j, v := range runSpecs(ctx, misses, opts, rcfg.DisableLockstep) {
+						if v.Err == "" {
+							rcfg.Cache.Store(misses[j], v)
+						}
+						vs[missAt[j]] = v
+					}
+				}
+				return vs
 			},
 			// Placeholder runs after the dispatcher has exited (the pool
 			// orders it after close(out)), so continuing the sampler for
@@ -368,6 +403,25 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 			})
 		}
 	}
+}
+
+// runSpecs executes one spec block through the configured engine path:
+// the lockstep router by default, the scalar oracle under
+// DisableLockstep. Verdict bytes are identical either way.
+func runSpecs(ctx context.Context, block []Spec, opts RunOptions, scalar bool) []Verdict {
+	if scalar {
+		vs := make([]Verdict, len(block))
+		for j, s := range block {
+			v, rerr := RunWith(ctx, s, opts)
+			if rerr != nil && v.Err == "" {
+				v.Err = rerr.Error()
+				v.OK = false
+			}
+			vs[j] = v
+		}
+		return vs
+	}
+	return RunBlock(ctx, block, opts)
 }
 
 // Campaign is a completed sweep: the verdicts this process executed in

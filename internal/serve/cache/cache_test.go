@@ -1,0 +1,311 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pef/internal/scenario"
+	"pef/internal/telemetry"
+)
+
+// testSpec is a valid all-builtin spec; vary the seed for distinct keys
+// of identical accounted size (seeds 10..99 share a digit count).
+func testSpec(seed uint64) scenario.Spec {
+	return scenario.Spec{
+		Version:   scenario.Version,
+		Ring:      8,
+		Robots:    3,
+		Algorithm: "pef3+",
+		Placement: scenario.PlaceEven,
+		Family:    "bernoulli",
+		Params:    scenario.Params{P: 0.5},
+		Horizon:   50,
+		Seed:      seed,
+	}
+}
+
+func mustKey(t *testing.T, s scenario.Spec) string {
+	t.Helper()
+	key, err := Key(s)
+	if err != nil {
+		t.Fatalf("Key(%s): %v", s.ID(), err)
+	}
+	return key
+}
+
+func TestKeyFingerprintsBuiltinSurface(t *testing.T) {
+	s := testSpec(10)
+	key := mustKey(t, s)
+	if want := Fingerprint() + "|" + s.ID(); key != want {
+		t.Fatalf("key = %q, want %q", key, want)
+	}
+	if Fingerprint() != Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+
+	// Every name class outside the built-in surface must be refused —
+	// whether the name is entirely unknown or a live custom registration
+	// (its semantics are process-local either way).
+	cases := map[string]scenario.Spec{}
+	alg := s
+	alg.Algorithm = "my-custom-walker"
+	cases["algorithm"] = alg
+	fam := s
+	fam.Family = "my-custom-family"
+	cases["family"] = fam
+	prop := s
+	prop.Expect = "my-custom-property"
+	cases["property"] = prop
+	for class, bad := range cases {
+		if _, err := Key(bad); !errors.Is(err, ErrUnfingerprintable) {
+			t.Errorf("custom %s: err = %v, want ErrUnfingerprintable", class, err)
+		}
+	}
+
+	// Built-in expectations are fingerprintable.
+	exp := s
+	exp.Expect = scenario.ExpectExplore
+	mustKey(t, exp)
+}
+
+func TestGetPutAndCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(Config{Telemetry: reg})
+	s := testSpec(11)
+	key := mustKey(t, s)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache hit")
+	}
+	v := scenario.Run(s)
+	c.Put(key, v)
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("stored verdict missed")
+	}
+	if got != v {
+		t.Fatalf("cache returned a different verdict:\n got %+v\nwant %+v", got, v)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cache.hits"] != 1 || snap.Counters["cache.misses"] != 1 || snap.Counters["cache.stores"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["cache.entries"].Value != 1 {
+		t.Fatalf("entries gauge = %+v", snap.Gauges["cache.entries"])
+	}
+}
+
+func TestPutDiscardsErrorVerdicts(t *testing.T) {
+	c := New(Config{})
+	s := testSpec(12)
+	key := mustKey(t, s)
+	v := scenario.Run(s)
+	v.Err = "simulated failure"
+	c.Put(key, v)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("an errored verdict was cached; transient failures must be recomputed")
+	}
+}
+
+// TestLRUEvictionOrder pins the eviction discipline: least recently
+// *used* goes first, where Get refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	// Measure one entry's accounted size with a scratch cache; seeds
+	// 10..13 render with equal width, so all entries weigh the same.
+	scratch := New(Config{})
+	scratch.Put(mustKey(t, testSpec(10)), scenario.Run(testSpec(10)))
+	size := scratch.Bytes()
+
+	reg := telemetry.NewRegistry()
+	c := New(Config{Capacity: 3 * size, Telemetry: reg})
+	keys := make([]string, 4)
+	for i, seed := range []uint64{10, 11, 12, 13} {
+		keys[i] = mustKey(t, testSpec(seed))
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(keys[i], scenario.Run(testSpec(uint64(10+i))))
+	}
+	// Touch key 0: key 1 becomes the eviction candidate.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.Put(keys[3], scenario.Run(testSpec(13)))
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(keys[i]); !ok {
+			t.Fatalf("key %d was evicted, want key 1 only", i)
+		}
+	}
+	if n := reg.Snapshot().Counters["cache.evictions"]; n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+}
+
+// TestGetOrRunCoalesces: N concurrent identical requests must cost one
+// simulation and all receive the identical verdict. Deterministic
+// orchestration: the first runner blocks inside run until every waiter
+// has registered on its flight.
+func TestGetOrRunCoalesces(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(Config{Telemetry: reg})
+	s := testSpec(14)
+	key := mustKey(t, s)
+	want := scenario.Run(s)
+
+	const waiters = 8
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runs := 0
+	leaderDone := make(chan scenario.Verdict, 1)
+	go func() {
+		v, status, err := c.GetOrRun(context.Background(), key, func() scenario.Verdict {
+			runs++
+			close(started)
+			<-release
+			return scenario.Run(s)
+		})
+		if err != nil || status != StatusMiss {
+			t.Errorf("leader: status=%q err=%v", status, err)
+		}
+		leaderDone <- v
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	got := make([]scenario.Verdict, waiters)
+	statuses := make([]string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, status, err := c.GetOrRun(context.Background(), key, func() scenario.Verdict {
+				t.Error("a coalesced waiter ran the simulation")
+				return scenario.Verdict{}
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			got[i] = v
+			statuses[i] = status
+		}()
+	}
+	// Release only after every waiter is parked on the flight (the
+	// coalesced counter counts registrations).
+	for c.coalescedValue() < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if runs != 1 {
+		t.Fatalf("runs = %d, want 1", runs)
+	}
+	if v := <-leaderDone; v != want {
+		t.Fatalf("leader verdict diverged from direct run")
+	}
+	for i := 0; i < waiters; i++ {
+		if got[i] != want {
+			t.Fatalf("waiter %d verdict diverged", i)
+		}
+		if statuses[i] != StatusCoalesced {
+			t.Fatalf("waiter %d status = %q, want %q", i, statuses[i], StatusCoalesced)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cache.coalesced"] != waiters || snap.Counters["cache.misses"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	// And afterwards: a plain hit.
+	if _, status, _ := c.GetOrRun(context.Background(), key, func() scenario.Verdict {
+		t.Error("post-coalesce request ran the simulation")
+		return scenario.Verdict{}
+	}); status != StatusHit {
+		t.Fatalf("post-coalesce status = %q", status)
+	}
+}
+
+// coalescedValue reads the coalesced counter (test helper; the counter
+// is atomic).
+func (c *Cache) coalescedValue() int {
+	return int(c.coalesced.Value())
+}
+
+func TestGetOrRunWaiterHonorsContext(t *testing.T) {
+	c := New(Config{})
+	key := mustKey(t, testSpec(15))
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.GetOrRun(context.Background(), key, func() scenario.Verdict {
+		close(started)
+		<-release
+		return scenario.Run(testSpec(15))
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrRun(ctx, key, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err = %v", err)
+	}
+}
+
+func TestGetOrRunDoesNotCacheErrors(t *testing.T) {
+	c := New(Config{})
+	key := mustKey(t, testSpec(16))
+	bad := scenario.Verdict{ID: testSpec(16).ID(), Outcome: "error", Err: "boom"}
+	if v, status, err := c.GetOrRun(context.Background(), key, func() scenario.Verdict { return bad }); err != nil || status != StatusMiss || v != bad {
+		t.Fatalf("first call: v=%+v status=%q err=%v", v, status, err)
+	}
+	ran := false
+	c.GetOrRun(context.Background(), key, func() scenario.Verdict { ran = true; return scenario.Run(testSpec(16)) })
+	if !ran {
+		t.Fatal("errored verdict was cached; the retry never re-ran")
+	}
+}
+
+// TestFingerprintCoversNames: two differently-named surfaces must not
+// fingerprint alike — spelled as a direct sensitivity check on the hash
+// input (the set of built-ins is fixed in-process, so this guards the
+// construction, not the runtime).
+func TestFingerprintConstruction(t *testing.T) {
+	fp := Fingerprint()
+	if len(fp) != 64 || strings.Trim(fp, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint %q is not hex SHA-256", fp)
+	}
+	// The surface must include the names the stock campaigns rely on.
+	b := builtins()
+	for _, alg := range []string{"pef3+", "pef2", "pef1"} {
+		if !b.algs[alg] {
+			t.Fatalf("builtin surface is missing algorithm %q", alg)
+		}
+	}
+	for _, fam := range []string{"bernoulli", "static", scenario.FamilyConfineTwo, "periodic"} {
+		if !b.fams[fam] {
+			t.Fatalf("builtin surface is missing family %q", fam)
+		}
+	}
+	for _, prop := range []string{scenario.ExpectExplore, scenario.ExpectConfine, scenario.ExpectNone} {
+		if !b.props[prop] {
+			t.Fatalf("builtin surface is missing property %q", prop)
+		}
+	}
+}
+
+// TestKeyDistinctAcrossSpecs spot-checks that distinct specs address
+// distinct content (the exhaustive per-field audit lives in the scenario
+// package's TestSpecIDCoversEveryField).
+func TestKeyDistinctAcrossSpecs(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := uint64(10); seed < 20; seed++ {
+		key := mustKey(t, testSpec(seed))
+		if seen[key] {
+			t.Fatalf("duplicate key %q", key)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxClients bounds the per-client bucket map: when a new client would
+// exceed it, full (idle) buckets are pruned first, so remote-address
+// churn cannot grow the limiter without bound.
+const maxClients = 4096
+
+// rateLimiter is a per-client token bucket: each client accrues rate
+// tokens per second up to burst, and every admitted request spends one.
+// The clock is injected for the fake-clock tests (the internal/lease
+// style).
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if burst < 1 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), now: now, clients: map[string]*bucket{}}
+}
+
+// allow spends one token from client's bucket. When the bucket is dry it
+// reports false plus the wait until the next token accrues — the
+// Retry-After the handler sends with the 429.
+func (l *rateLimiter) allow(client string) (bool, time.Duration) {
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[client]
+	if b == nil {
+		if len(l.clients) >= maxClients {
+			l.pruneLocked(t)
+		}
+		b = &bucket{tokens: l.burst, last: t}
+		l.clients[client] = b
+	} else if elapsed := t.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// pruneLocked drops buckets that have refilled completely — idle clients
+// whose state is indistinguishable from a fresh bucket.
+func (l *rateLimiter) pruneLocked(t time.Time) {
+	for key, b := range l.clients {
+		elapsed := t.Sub(b.last).Seconds()
+		if math.Min(l.burst, b.tokens+elapsed*l.rate) >= l.burst {
+			delete(l.clients, key)
+		}
+	}
+}
+
+// retryAfterSeconds renders a wait as the integral Retry-After header
+// value, rounded up and at least 1 (a zero would invite an instant
+// identical retry).
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the internal/lease test clock: manually advanced,
+// concurrency-safe.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestRateLimiterBurstThenLimited(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 3, clk.Now)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("request %d within burst was refused", i)
+		}
+	}
+	ok, wait := l.allow("a")
+	if ok {
+		t.Fatal("fourth request passed a burst of 3")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait = %v, want (0, 1s] at 1 token/s", wait)
+	}
+}
+
+func TestRateLimiterRefills(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(2, 2, clk.Now) // 2 tokens/s, depth 2
+	l.allow("a")
+	l.allow("a")
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("dry bucket admitted a request")
+	}
+	clk.Advance(500 * time.Millisecond) // one token accrues
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("refilled token was not granted")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("second request after a one-token refill was admitted")
+	}
+	clk.Advance(10 * time.Second) // refill clamps at burst
+	l.allow("a")
+	l.allow("a")
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("burst clamp failed: more than 2 tokens accrued")
+	}
+}
+
+func TestRateLimiterClientsAreIsolated(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 1, clk.Now)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("a's first request refused")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("a's second request admitted past the burst")
+	}
+	// b's bucket is untouched by a's spending.
+	if ok, _ := l.allow("b"); !ok {
+		t.Fatal("b was throttled by a's traffic")
+	}
+}
+
+func TestRateLimiterPrunesIdleClients(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(1, 1, clk.Now)
+	for i := 0; i < maxClients; i++ {
+		l.allow("client-" + strconv.Itoa(i))
+	}
+	if len(l.clients) != maxClients {
+		t.Fatalf("limiter tracks %d clients, want %d", len(l.clients), maxClients)
+	}
+	clk.Advance(time.Hour) // everyone refills → prunable
+	l.allow("newcomer")
+	if len(l.clients) != 1 {
+		t.Fatalf("prune left %d clients, want 1 (the newcomer)", len(l.clients))
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestServerRateLimit429 drives the limiter through the HTTP admission
+// pipeline: past the burst a client gets 429 with a Retry-After header,
+// other clients are unaffected, and the rejection is counted.
+func TestServerRateLimit429(t *testing.T) {
+	clk := newFakeClock()
+	srv := New(Config{Rate: 1, Burst: 2, Now: clk.Now})
+
+	get := func(client string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		req.Header.Set("X-Pefserve-Client", client)
+		w := httptest.NewRecorder()
+		srv.admit(func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})(w, req)
+		return w
+	}
+
+	for i := 0; i < 2; i++ {
+		if w := get("alice"); w.Code != http.StatusOK {
+			t.Fatalf("request %d within burst: code %d", i, w.Code)
+		}
+	}
+	w := get("alice")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst request: code %d, want 429", w.Code)
+	}
+	ra := w.Header().Get("Retry-After")
+	if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", ra)
+	}
+	if !strings.Contains(w.Body.String(), "rate limit") {
+		t.Fatalf("429 body does not mention the rate limit: %s", w.Body.String())
+	}
+	if w := get("bob"); w.Code != http.StatusOK {
+		t.Fatalf("bob was throttled by alice's traffic: code %d", w.Code)
+	}
+	if got := srv.tel.Snapshot().Counters["serve.rejected.rateLimited"]; got != 1 {
+		t.Fatalf("serve.rejected.rateLimited = %d, want 1", got)
+	}
+	// The refused token accrues back with time.
+	clk.Advance(time.Second)
+	if w := get("alice"); w.Code != http.StatusOK {
+		t.Fatalf("alice still throttled after a full refill interval: code %d", w.Code)
+	}
+}
