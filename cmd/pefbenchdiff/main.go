@@ -16,9 +16,17 @@
 // require the lockstep engine's campaign to run no slower than the
 // scalar engine's.
 //
+// When both arguments are search boundary reports (pefsearch -json)
+// instead, the diff switches to boundary mode: per (family, metric), the
+// tightest margin either run observed, with "tightened" flagging cells
+// where the new search pushed closer to the theorem boundary and any
+// newly found violations called out. Like the campaign margin section,
+// boundary mode is diagnostic and never joins the regression gate.
+//
 //	pefbenchdiff BENCH_0002.json BENCH_0003.json
 //	pefbenchdiff -fail-on-regress 0.0 OLD.json NEW.json
 //	pefbenchdiff -fail-on-regress 0.0 campaign_scalar.json campaign_lockstep.json
+//	pefbenchdiff boundary_old.json boundary_new.json
 //
 // Flags:
 //
@@ -39,6 +47,7 @@ import (
 	"os"
 
 	"pef/internal/metrics"
+	"pef/internal/search"
 )
 
 func main() {
@@ -131,20 +140,34 @@ var marginMetrics = map[string]bool{
 }
 
 // document is one parsed input file: an experiment trajectory (Jobs
-// non-empty) or a scenario-campaign document (Campaign true).
+// non-empty), a scenario-campaign document (isCamp), or a search
+// boundary report (isBoundary).
 type document struct {
-	bench    benchFile
-	campaign campaignFile
-	isCamp   bool
+	bench      benchFile
+	campaign   campaignFile
+	boundary   *search.BoundaryReport
+	isCamp     bool
+	isBoundary bool
 }
 
-// load parses one input file, detecting its kind: a jobs list marks an
-// experiment trajectory, a generator name marks a campaign document.
+// load parses one input file, detecting its kind: a "searchBoundary"
+// kind tag marks a boundary report, a jobs list marks an experiment
+// trajectory, a generator name marks a campaign document.
 func load(path string) (document, error) {
 	var d document
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return d, err
+	}
+	var kind struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &kind); err == nil && kind.Kind == search.ReportKind {
+		if d.boundary, err = search.DecodeReport(data); err != nil {
+			return d, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		d.isBoundary = true
+		return d, nil
 	}
 	if err := json.Unmarshal(data, &d.bench); err != nil {
 		return d, fmt.Errorf("parsing %s: %w", path, err)
@@ -159,7 +182,7 @@ func load(path string) (document, error) {
 		d.isCamp = true
 		return d, nil
 	}
-	return d, fmt.Errorf("%s carries neither experiment jobs nor a campaign", path)
+	return d, fmt.Errorf("%s carries neither experiment jobs, a campaign, nor a boundary report", path)
 }
 
 // mergedOrder returns oldOrder followed by the experiments that only the
@@ -194,8 +217,11 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if oldD.isCamp != newD.isCamp {
-		return fmt.Errorf("cannot diff an experiment trajectory against a campaign document")
+	if oldD.isCamp != newD.isCamp || oldD.isBoundary != newD.isBoundary {
+		return fmt.Errorf("cannot diff documents of different kinds (trajectory, campaign, boundary report)")
+	}
+	if oldD.isBoundary {
+		return boundaryDiff(stdout, fs.Arg(0), fs.Arg(1), oldD.boundary, newD.boundary)
 	}
 	if oldD.isCamp {
 		return campaignDiff(stdout, fs.Arg(0), fs.Arg(1), oldD.campaign, newD.campaign, *failOn)
@@ -449,6 +475,95 @@ func marginDiff(stdout io.Writer, oldC, newC campaignFile) error {
 		}
 	}
 	return mt.Render(stdout)
+}
+
+// boundaryDiff renders the search-boundary comparison: per (family,
+// metric), the tightest margin either run observed. "tightened" flags
+// cells where the new search pushed closer to the theorem boundary —
+// the searcher doing its job — and newly found violations are called
+// out. Boundary runs usually differ in seed or budget, so like the
+// campaign margin section this mode is diagnostic and never joins the
+// -fail-on-regress gate.
+func boundaryDiff(stdout io.Writer, oldPath, newPath string, oldR, newR *search.BoundaryReport) error {
+	fmt.Fprintf(stdout, "# Boundary report diff: %s → %s\n\n", oldPath, newPath)
+	st := metrics.NewTable("run", "seed", "generations", "samples", "violations")
+	st.AddRow("old", oldR.Seed, oldR.Generations, oldR.Samples, len(oldR.Violations))
+	st.AddRow("new", newR.Seed, newR.Generations, newR.Samples, len(newR.Violations))
+	if err := st.Render(stdout); err != nil {
+		return err
+	}
+
+	type key struct{ family, metric string }
+	index := func(rows []search.BoundaryRow) (order []key, byKey map[key]search.BoundaryRow) {
+		byKey = make(map[key]search.BoundaryRow, len(rows))
+		for _, r := range rows {
+			k := key{r.Family, r.Metric}
+			if _, ok := byKey[k]; !ok {
+				order = append(order, k)
+			}
+			byKey[k] = r
+		}
+		return order, byKey
+	}
+	oldOrder, oldRows := index(oldR.Rows)
+	newOrder, newRows := index(newR.Rows)
+	order := append([]key(nil), oldOrder...)
+	for _, k := range newOrder {
+		if _, ok := oldRows[k]; !ok {
+			order = append(order, k)
+		}
+	}
+
+	tightened := 0
+	fmt.Fprintf(stdout, "\n## Tightest observed margins (‰ of bound)\n\n")
+	bt := metrics.NewTable("family", "metric", "old rel(‰)", "new rel(‰)", "delta", "flag")
+	for _, k := range order {
+		o, hasOld := oldRows[k]
+		n, hasNew := newRows[k]
+		switch {
+		case !hasNew:
+			bt.AddRow(k.family, k.metric, o.RelMin, "-", "-", "gone")
+		case !hasOld:
+			bt.AddRow(k.family, k.metric, "-", n.RelMin, "-", "new")
+		default:
+			delta := n.RelMin - o.RelMin
+			flag := "="
+			if delta < 0 {
+				flag = "tightened"
+				tightened++
+			} else if delta > 0 {
+				flag = "widened"
+			}
+			bt.AddRow(k.family, k.metric, o.RelMin, n.RelMin, fmt.Sprintf("%+d", delta), flag)
+		}
+	}
+	if err := bt.Render(stdout); err != nil {
+		return err
+	}
+	if tightened > 0 {
+		fmt.Fprintf(stdout, "\n%d cell(s) tightened toward the theorem boundary.\n", tightened)
+	}
+
+	oldViol := make(map[string]bool, len(oldR.Violations))
+	for _, v := range oldR.Violations {
+		oldViol[v.ID] = true
+	}
+	fresh := 0
+	for _, v := range newR.Violations {
+		if !oldViol[v.ID] {
+			if fresh == 0 {
+				fmt.Fprintf(stdout, "\n## New violations\n\n")
+			}
+			fresh++
+			fmt.Fprintf(stdout, "- %s", v.ID)
+			if v.MinimizedID != "" {
+				fmt.Fprintf(stdout, " (minimal reproducer: %s)", v.MinimizedID)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	fmt.Fprintf(stdout, "\n---\nboundary mode is diagnostic: margins never join the regression gate.\n")
+	return nil
 }
 
 // gateSuffix annotates the verdict with the active gate, if any.

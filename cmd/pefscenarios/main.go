@@ -44,6 +44,9 @@
 //	                 registered (see -list)
 //	-families F,G    restrict the "registered" generator to these
 //	                 registered explorable families
+//	-family-weights  bias the "registered" generator's family pool,
+//	                 e.g. "bernoulli=3,periodic=1" (exclusive with
+//	                 -families; equal weights sample identically to it)
 //	-maxring N       largest sampled ring size (default 16)
 //	-lockstep        run shape-aligned scenarios on the bit-parallel
 //	                 lockstep engine, up to 64 seeds per machine word
@@ -156,6 +159,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers    = fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
 		family     = fs.String("family", "uniform", "generator (see -list)")
 		families   = fs.String("families", "", "comma-separated family pool for the registered generator")
+		weights    = fs.String("family-weights", "", "weighted family pool for the registered generator, e.g. \"bernoulli=3,periodic=1\"")
 		maxRing    = fs.Int("maxring", 16, "largest sampled ring size")
 		lockstep   = fs.Bool("lockstep", true, "run shape-aligned scenarios on the bit-parallel lane engine")
 		laneWidth  = fs.Int("lanewidth", 0, "scenarios batched per worker job for lane packing (<1 means 1024)")
@@ -186,7 +190,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *workerURL != "" {
 		// Worker mode: the campaign identity comes from the coordinator's
 		// grants, so every local campaign-shaping flag is a conflict.
-		for _, name := range []string{"count", "seed", "seeds", "family", "families", "maxring",
+		for _, name := range []string{"count", "seed", "seeds", "family", "families", "family-weights", "maxring",
 			"checkpoint", "checkpoint-every", "halt-after", "resume", "shard-index", "shard-count",
 			"merge", "minimize", "json", "timings"} {
 			if explicitFlag(fs, name) {
@@ -268,8 +272,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *resume == "" || explicit["seed"] || explicit["seeds"] {
 		cfg.Seeds = harness.Seeds(*seed, *seeds)
 	}
-	if *resume == "" || explicit["maxring"] || explicit["families"] {
-		cfg.Gen = scenario.GenConfig{MaxRing: *maxRing, Families: *families}
+	if *resume == "" || explicit["maxring"] || explicit["families"] || explicit["family-weights"] {
+		cfg.Gen = scenario.GenConfig{MaxRing: *maxRing, Families: *families, FamilyWeights: *weights}
 	}
 
 	// Observability wiring. None of it touches stdout: telemetry and the

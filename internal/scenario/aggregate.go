@@ -45,6 +45,9 @@ type Aggregate struct {
 	// reg resolves family descriptors for the margin instrumentation
 	// (confinement limits); never nil after NewAggregate.
 	reg *Registry
+	// marginBuf is the reused margin scratch slice keeping the
+	// steady-state Add fold allocation-free.
+	marginBuf []Margin
 }
 
 // NewAggregate creates the aggregation state for the campaign described
@@ -141,40 +144,17 @@ func (a *Aggregate) Add(v Verdict) {
 		}
 		a.sweep.RecordScalar(fam, "distinct", v.Distinct)
 		// Margin distributions: how much headroom each verdict had against
-		// the bound its property enforced. Small margins mark the regions
-		// where the paper's theorems are tightest — the signal the
-		// coverage-guided search steers by. They ride the same sweep
-		// scalars as the metrics above, so checkpoints, resume and shard
-		// merge preserve them for free.
-		switch v.Expect {
-		case ExpectExplore:
-			if v.CoverTime >= 0 {
-				// Rounds to spare between full cover and the horizon.
-				a.sweep.RecordScalar(fam, "coverSlack", v.Spec.Horizon-v.CoverTime)
-			}
-			if v.Outcome == "explored" || v.Outcome == "partial" {
-				// Distance from the revisit-gap ceiling the explore
-				// property enforces (Horizon/2, see ExploreViolation).
-				a.sweep.RecordScalar(fam, "gapHeadroom", v.Spec.Horizon/2-v.MaxGap)
-			}
-		case ExpectConfine:
-			// Distinct-node headroom under the family's confinement limit.
-			a.sweep.RecordScalar(fam, "confineHeadroom", a.confineLimit(fam)-v.Distinct)
+		// the bound its property enforced (see Registry.Margins). They ride
+		// the same sweep scalars as the metrics above, so checkpoints,
+		// resume and shard merge preserve them for free.
+		a.marginBuf = a.reg.AppendMargins(a.marginBuf[:0], v)
+		for _, m := range a.marginBuf {
+			a.sweep.RecordScalar(fam, m.Metric, m.Value)
 		}
 	}
 	if !v.OK || v.Err != "" {
 		a.violations = append(a.violations, v)
 	}
-}
-
-// confineLimit resolves the distinct-node bound the confine property
-// enforces for a family — the descriptor's limit, defaulting to 3
-// exactly like the property implementation.
-func (a *Aggregate) confineLimit(family string) int {
-	if d, ok := a.reg.Family(family); ok && d.ConfineLimit > 0 {
-		return d.ConfineLimit
-	}
-	return 3
 }
 
 // Merge folds b into a. Merging the parts of any in-order partition of a

@@ -298,110 +298,150 @@ func StreamCampaign(ctx context.Context, cfg CampaignConfig) iter.Seq2[Verdict, 
 			"end":       end,
 		})
 
-		// Jobs are blocks of LaneWidth consecutive specs of the canonical
-		// stream (1 when lockstep is disabled): the block is the unit the
-		// lane engine packs seed lanes from, and flattening block verdicts
-		// in job order reproduces the canonical per-spec stream exactly.
-		total := end - from
-		width := rcfg.LaneWidth
-		jobs := (total + width - 1) / width
-		blockLen := func(i int) int {
-			if i == jobs-1 {
-				return total - i*width
+		streamBlocks(ctx, rcfg, reg, stream.next, end-from, yield)
+	}
+}
+
+// StreamSpecs runs an explicit spec list through the campaign engine —
+// the same worker pool, lane blocking, cache and trace path as
+// StreamCampaign, minus the seeded sampler — yielding one (verdict,
+// error) pair per spec in input order, byte-identical for any worker
+// count and lane width. It is the steering hook of the coverage-guided
+// searcher: generated-then-mutated spec blocks run here without round-
+// tripping through a Generator. The sampler-stream fields of cfg
+// (Generator, Gen, Count, Seeds, the shard selection and Resume) are
+// ignored; error semantics otherwise match StreamCampaign.
+func StreamSpecs(ctx context.Context, cfg CampaignConfig, specs []Spec) iter.Seq2[Verdict, error] {
+	return func(yield func(Verdict, error) bool) {
+		cfg.Generator, cfg.Gen = "", GenConfig{}
+		cfg.Count, cfg.Seeds = 0, nil
+		cfg.ShardIndex, cfg.ShardCount = 0, 0
+		cfg.Resume = nil
+		rcfg, err := cfg.resolved()
+		if err != nil {
+			yield(Verdict{}, err)
+			return
+		}
+		if len(specs) == 0 {
+			return
+		}
+		pos := 0
+		next := func() Spec {
+			s := specs[pos]
+			pos++
+			return s
+		}
+		streamBlocks(ctx, rcfg, rcfg.registry(), next, len(specs), yield)
+	}
+}
+
+// streamBlocks shards the next-supplied spec sequence across the worker
+// pool in LaneWidth blocks and yields verdicts in canonical (input)
+// order — the shared engine core behind StreamCampaign's lazy sampler
+// streams and StreamSpecs' explicit lists.
+func streamBlocks(ctx context.Context, rcfg CampaignConfig, reg *Registry, next func() Spec, total int, yield func(Verdict, error) bool) {
+	// Jobs are blocks of LaneWidth consecutive specs of the canonical
+	// stream (1 when lockstep is disabled): the block is the unit the
+	// lane engine packs seed lanes from, and flattening block verdicts
+	// in job order reproduces the canonical per-spec stream exactly.
+	width := rcfg.LaneWidth
+	jobs := (total + width - 1) / width
+	blockLen := func(i int) int {
+		if i == jobs-1 {
+			return total - i*width
+		}
+		return width
+	}
+	window := campaignWindow(rcfg.Workers)
+	ring := make([][]Spec, window)
+	for i := range ring {
+		ring[i] = make([]Spec, 0, width)
+	}
+	fed := 0
+	for item := range harness.StreamPool(ctx, harness.PoolConfig[[]Verdict]{
+		Total:   jobs,
+		Workers: rcfg.Workers,
+		Window:  window,
+		Metrics: rcfg.Telemetry.poolMetrics(),
+		// Feed materializes job i's spec block into its ring slot right
+		// before dispatch; the pool guarantees Feed(i) happens-before
+		// Run(i) and that the slot is not reused until job i was yielded.
+		Feed: func(i int) {
+			block := ring[i%window][:0]
+			for j := 0; j < blockLen(i); j++ {
+				block = append(block, next())
 			}
-			return width
-		}
-		window := campaignWindow(rcfg.Workers)
-		ring := make([][]Spec, window)
-		for i := range ring {
-			ring[i] = make([]Spec, 0, width)
-		}
-		fed := 0
-		for item := range harness.StreamPool(ctx, harness.PoolConfig[[]Verdict]{
-			Total:   jobs,
-			Workers: rcfg.Workers,
-			Window:  window,
-			Metrics: rcfg.Telemetry.poolMetrics(),
-			// Feed materializes job i's spec block into its ring slot right
-			// before dispatch; the pool guarantees Feed(i) happens-before
-			// Run(i) and that the slot is not reused until job i was yielded.
-			Feed: func(i int) {
-				block := ring[i%window][:0]
+			ring[i%window] = block
+			fed = i + 1
+		},
+		Run: func(i int) []Verdict {
+			block := ring[i%window]
+			opts := RunOptions{Registry: reg, Telemetry: rcfg.Telemetry}
+			if rcfg.Cache == nil {
+				return runSpecs(ctx, block, opts, rcfg.DisableLockstep)
+			}
+			// Cached path: serve hits from the store and run only the
+			// miss subset as its own block. Safe for byte-identity:
+			// per-spec verdicts are invariant under blocking, so the
+			// miss sub-block computes exactly the bytes the full block
+			// would have.
+			vs := make([]Verdict, len(block))
+			var misses []Spec
+			var missAt []int
+			for j, s := range block {
+				if v, ok := rcfg.Cache.Lookup(s); ok {
+					vs[j] = v
+					continue
+				}
+				misses = append(misses, s)
+				missAt = append(missAt, j)
+			}
+			if len(misses) > 0 {
+				for j, v := range runSpecs(ctx, misses, opts, rcfg.DisableLockstep) {
+					if v.Err == "" {
+						rcfg.Cache.Store(misses[j], v)
+					}
+					vs[missAt[j]] = v
+				}
+			}
+			return vs
+		},
+		// Placeholder runs after the dispatcher has exited (the pool
+		// orders it after close(out)), so continuing the sampler for
+		// never-fed indices is race-free.
+		Placeholder: func(i int) []Verdict {
+			var block []Spec
+			if i < fed {
+				block = ring[i%window]
+			} else {
 				for j := 0; j < blockLen(i); j++ {
-					block = append(block, stream.next())
-				}
-				ring[i%window] = block
-				fed = i + 1
-			},
-			Run: func(i int) []Verdict {
-				block := ring[i%window]
-				opts := RunOptions{Registry: reg, Telemetry: rcfg.Telemetry}
-				if rcfg.Cache == nil {
-					return runSpecs(ctx, block, opts, rcfg.DisableLockstep)
-				}
-				// Cached path: serve hits from the store and run only the
-				// miss subset as its own block. Safe for byte-identity:
-				// per-spec verdicts are invariant under blocking, so the
-				// miss sub-block computes exactly the bytes the full block
-				// would have.
-				vs := make([]Verdict, len(block))
-				var misses []Spec
-				var missAt []int
-				for j, s := range block {
-					if v, ok := rcfg.Cache.Lookup(s); ok {
-						vs[j] = v
-						continue
-					}
-					misses = append(misses, s)
-					missAt = append(missAt, j)
-				}
-				if len(misses) > 0 {
-					for j, v := range runSpecs(ctx, misses, opts, rcfg.DisableLockstep) {
-						if v.Err == "" {
-							rcfg.Cache.Store(misses[j], v)
-						}
-						vs[missAt[j]] = v
-					}
-				}
-				return vs
-			},
-			// Placeholder runs after the dispatcher has exited (the pool
-			// orders it after close(out)), so continuing the sampler for
-			// never-fed indices is race-free.
-			Placeholder: func(i int) []Verdict {
-				var block []Spec
-				if i < fed {
-					block = ring[i%window]
-				} else {
-					for j := 0; j < blockLen(i); j++ {
-						block = append(block, stream.next())
-					}
-				}
-				vs := make([]Verdict, len(block))
-				for j, s := range block {
-					vs[j] = Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, Outcome: "error", CoverTime: -1}
-				}
-				return vs
-			},
-			Cancelled: func(_ int, vs []Verdict, err error) []Verdict {
-				for j := range vs {
-					vs[j].Err = fmt.Sprintf("scenario cancelled before running: %v", err)
-				}
-				return vs
-			},
-		}) {
-			for _, v := range item.R {
-				if !yield(v, item.Err) {
-					return
+					block = append(block, next())
 				}
 			}
-			// Blocks retire in index order on this single-threaded path, so
-			// the event sequence is deterministic for any worker count.
-			rcfg.Trace.Emit("block-retired", map[string]any{
-				"block": item.I,
-				"specs": len(item.R),
-			})
+			vs := make([]Verdict, len(block))
+			for j, s := range block {
+				vs[j] = Verdict{ID: s.ID(), Spec: s, Expect: s.Expect, Outcome: "error", CoverTime: -1}
+			}
+			return vs
+		},
+		Cancelled: func(_ int, vs []Verdict, err error) []Verdict {
+			for j := range vs {
+				vs[j].Err = fmt.Sprintf("scenario cancelled before running: %v", err)
+			}
+			return vs
+		},
+	}) {
+		for _, v := range item.R {
+			if !yield(v, item.Err) {
+				return
+			}
 		}
+		// Blocks retire in index order on this single-threaded path, so
+		// the event sequence is deterministic for any worker count.
+		rcfg.Trace.Emit("block-retired", map[string]any{
+			"block": item.I,
+			"specs": len(item.R),
+		})
 	}
 }
 

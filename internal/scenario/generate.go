@@ -20,7 +20,20 @@ type GenConfig struct {
 	// (e.g. "periodic,compose:union"). The other generators draw from
 	// their frozen stock pools and ignore it.
 	Families string `json:"families,omitempty"`
+	// FamilyWeights optionally biases the "registered" generator's pool:
+	// a comma-separated "family=weight" list over registered explorable
+	// families with positive integer weights, e.g. "bernoulli=3,periodic=1".
+	// The listed families *are* the pool (mutually exclusive with
+	// Families), picked with probability weight/total by one deterministic
+	// draw per sample. The other generators draw from their frozen stock
+	// pools and ignore it.
+	FamilyWeights string `json:"familyWeights,omitempty"`
 }
+
+// WithDefaults returns the config with unset fields filled exactly like
+// Generate and campaigns resolve them — the searcher uses it to clamp
+// mutated ring sizes against the same bounds sampling honored.
+func (c GenConfig) WithDefaults() GenConfig { return c.withDefaults() }
 
 // withDefaults fills unset (zero) fields without overriding explicit
 // values; validate rejects explicit values the samplers cannot honor.
@@ -54,6 +67,14 @@ func (c GenConfig) validate(r *Registry) error {
 	}
 	if c.Families != "" {
 		if _, err := r.explorableFamilies(c.Families); err != nil {
+			return err
+		}
+	}
+	if c.FamilyWeights != "" {
+		if c.Families != "" {
+			return fmt.Errorf("scenario: Families and FamilyWeights are mutually exclusive (the weighted list is the pool)")
+		}
+		if _, err := r.weightedFamilies(c.FamilyWeights); err != nil {
 			return err
 		}
 	}
@@ -169,6 +190,28 @@ func pick(src *prng.Source, options ...string) string {
 	return options[src.Intn(len(options))]
 }
 
+// pickWeighted draws one pool entry: uniformly when weights is nil (the
+// historical single-Intn draw, bit-compatible with pick), else by
+// cumulative weight with one Intn over the weight total — still a single
+// draw, so weighted and uniform streams consume the source identically.
+func pickWeighted(src *prng.Source, pool []string, weights []int) string {
+	if weights == nil {
+		return pick(src, pool...)
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	u := src.Intn(total)
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return pool[i]
+		}
+	}
+	return pool[len(pool)-1]
+}
+
 // sampleFamily draws a parameter point and horizon for the named family
 // via its descriptor, replaying the historical draw order: the candidate
 // horizon is computed first (some families read it when sampling), then
@@ -240,6 +283,51 @@ func sampleUniform(r *Registry, cfg GenConfig, src *prng.Source) Spec {
 	}
 	s.Expect = expectationOf(r, s)
 	return s
+}
+
+// SampleFamilySpec draws one in-threshold spec of the named explorable
+// family under cfg's bounds — the per-family steering hook of the
+// coverage-guided searcher: where sampleRegistered lets the pool pick
+// the family, a search loop picks it (bandit arms, corpus mutation) and
+// samples the rest of the spec here. Draw order is fixed — ring, team,
+// family parameters, placement, run seed — so equal (registry, cfg,
+// family, source state) always yields the same spec.
+func (r *Registry) SampleFamilySpec(cfg GenConfig, family string, src *prng.Source) (Spec, error) {
+	d, ok := r.Family(family)
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown family %q (registered: %v)", family, r.FamilyNames())
+	}
+	if !d.Explorable {
+		return Spec{}, fmt.Errorf("scenario: family %q is not explorable (the searcher samples explore-expectation specs only)", family)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(r); err != nil {
+		return Spec{}, err
+	}
+	lo := cfg.MinRing
+	if lo < 4 {
+		lo = 4
+	}
+	n := intIn(src, lo, cfg.MaxRing)
+	kHi := cfg.MaxRobots
+	if kHi > n-1 {
+		kHi = n - 1
+	}
+	k := intIn(src, 3, kHi)
+	p, horizon := sampleFamily(r, src, family, n)
+	s := Spec{
+		Version:   Version,
+		Ring:      n,
+		Robots:    k,
+		Algorithm: "pef3+",
+		Placement: pick(src, PlaceRandom, PlaceEven, PlaceAdjacent),
+		Family:    family,
+		Params:    p,
+		Horizon:   horizon,
+		Seed:      src.Uint64(),
+	}
+	s.Expect = expectationOf(r, s)
+	return s, nil
 }
 
 // sampleBoundary draws from the computability boundary of Table 1: the
@@ -381,7 +469,7 @@ func sampleAdversarial(r *Registry, cfg GenConfig, src *prng.Source) Spec {
 // the generator that makes user-registered dynamics campaign-reachable
 // without touching the frozen historical pools.
 func sampleRegistered(r *Registry, cfg GenConfig, src *prng.Source) Spec {
-	pool, err := r.explorableFamilies(cfg.Families)
+	pool, weights, err := r.ExplorableFamilies(cfg)
 	if err != nil {
 		// Generate/StreamCampaign validate the filter up front; reaching
 		// this is a programming error, not a user input.
@@ -397,7 +485,7 @@ func sampleRegistered(r *Registry, cfg GenConfig, src *prng.Source) Spec {
 		kHi = n - 1
 	}
 	k := intIn(src, 3, kHi)
-	family := pick(src, pool...)
+	family := pickWeighted(src, pool, weights)
 	p, horizon := sampleFamily(r, src, family, n)
 	s := Spec{
 		Version:   Version,

@@ -1,0 +1,65 @@
+package scenario
+
+// Margin is one predicate-headroom observation of a verdict: how far a
+// measured execution stayed from the bound its property enforced. Small
+// margins mark the regions where the paper's theorems are tightest — the
+// signal the coverage-guided search steers by.
+type Margin struct {
+	// Metric names the margin ("coverSlack", "gapHeadroom",
+	// "confineHeadroom") — the same scalar IDs campaign reports record.
+	Metric string `json:"metric"`
+	// Value is the raw headroom in the metric's own unit (rounds for the
+	// explore margins, distinct nodes for confinement). Negative values
+	// mark a violated bound.
+	Value int `json:"value"`
+	// Rel is Value normalized by its bound to per-mille — coverSlack over
+	// the horizon, gapHeadroom over the Horizon/2 gap ceiling,
+	// confineHeadroom over the confinement limit — so margins compare
+	// across specs and metrics. Surviving runs land in [0, 1000];
+	// violations go negative.
+	Rel int `json:"rel"`
+}
+
+// Margins computes the predicate margins of a verdict: exactly the
+// headrooms Aggregate.Add records into campaign reports, in the same
+// order (coverSlack, then gapHeadroom, for explore expectations;
+// confineHeadroom for confinement). Errored and cancelled verdicts carry
+// no metrics and return nil, as do report-only (ExpectNone) verdicts —
+// no enforced bound, no margin.
+func (r *Registry) Margins(v Verdict) []Margin {
+	return r.AppendMargins(nil, v)
+}
+
+// AppendMargins is Margins appending into dst — the allocation-free form
+// the per-verdict aggregation fold uses (hand it a reused scratch slice).
+func (r *Registry) AppendMargins(dst []Margin, v Verdict) []Margin {
+	if v.Err != "" {
+		return dst
+	}
+	ms := dst
+	switch v.Expect {
+	case ExpectExplore:
+		if v.CoverTime >= 0 {
+			// Rounds to spare between full cover and the horizon.
+			ms = append(ms, newMargin("coverSlack", v.Spec.Horizon-v.CoverTime, v.Spec.Horizon))
+		}
+		if v.Outcome == "explored" || v.Outcome == "partial" {
+			// Distance from the revisit-gap ceiling the explore property
+			// enforces (Horizon/2, see ExploreViolation).
+			ms = append(ms, newMargin("gapHeadroom", v.Spec.Horizon/2-v.MaxGap, v.Spec.Horizon/2))
+		}
+	case ExpectConfine:
+		// Distinct-node headroom under the family's confinement limit.
+		limit := r.confineLimit(v.Spec.Family)
+		ms = append(ms, newMargin("confineHeadroom", limit-v.Distinct, limit))
+	}
+	return ms
+}
+
+func newMargin(metric string, value, bound int) Margin {
+	m := Margin{Metric: metric, Value: value}
+	if bound > 0 {
+		m.Rel = value * 1000 / bound
+	}
+	return m
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -277,6 +278,14 @@ type Registry struct {
 	stockGraphFams []string
 	explorable     []string
 	explorableMemo map[string][]string
+	weightedMemo   map[string]weightedPool
+}
+
+// weightedPool is a parsed GenConfig.FamilyWeights list: the pool names
+// in list order with their parallel positive pick weights.
+type weightedPool struct {
+	names   []string
+	weights []int
 }
 
 // NewRegistry returns a fresh registry preloaded with the built-in
@@ -287,6 +296,7 @@ func NewRegistry() *Registry {
 		fams:           map[string]FamilyDescriptor{},
 		props:          map[string]Property{},
 		explorableMemo: map[string][]string{},
+		weightedMemo:   map[string]weightedPool{},
 	}
 	registerBuiltins(r)
 	return r
@@ -382,6 +392,7 @@ func (r *Registry) RegisterFamily(name string, d FamilyDescriptor) error {
 	if d.Explorable {
 		r.explorable = appendPool(r.explorable, name)
 		r.explorableMemo = map[string][]string{} // filters may now resolve differently
+		r.weightedMemo = map[string]weightedPool{}
 	}
 	return nil
 }
@@ -545,6 +556,143 @@ func (r *Registry) explorableFamilies(filter string) ([]string, error) {
 	r.explorableMemo[filter] = out
 	r.mu.Unlock()
 	return out, nil
+}
+
+// weightedFamilies parses and validates a FamilyWeights list against the
+// explorable pool, memoized per list string like explorableFamilies.
+func (r *Registry) weightedFamilies(spec string) (weightedPool, error) {
+	r.mu.RLock()
+	if wp, ok := r.weightedMemo[spec]; ok {
+		r.mu.RUnlock()
+		return wp, nil
+	}
+	names := r.explorable
+	r.mu.RUnlock()
+
+	allowed := map[string]bool{}
+	for _, n := range names {
+		allowed[n] = true
+	}
+	var wp weightedPool
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, weight, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok {
+			return weightedPool{}, fmt.Errorf("scenario: family weight entry %q is not family=weight", entry)
+		}
+		if !allowed[name] {
+			return weightedPool{}, fmt.Errorf("scenario: family weight %q is not a registered explorable family (explorable: %v)", name, names)
+		}
+		if seen[name] {
+			return weightedPool{}, fmt.Errorf("scenario: duplicate family weight %q", name)
+		}
+		seen[name] = true
+		w, err := strconv.Atoi(strings.TrimSpace(weight))
+		if err != nil || w < 1 || w > 1_000_000 {
+			return weightedPool{}, fmt.Errorf("scenario: family weight %q needs a positive integer weight in [1, 1000000]", entry)
+		}
+		wp.names = append(wp.names, name)
+		wp.weights = append(wp.weights, w)
+	}
+	if len(wp.names) == 0 {
+		return weightedPool{}, fmt.Errorf("scenario: empty family weight list %q", spec)
+	}
+	r.mu.Lock()
+	r.weightedMemo[spec] = wp
+	r.mu.Unlock()
+	return wp, nil
+}
+
+// ExplorableFamilies resolves the family pool the "registered" generator
+// samples under cfg: the explorable families after cfg.Families
+// filtering, or the cfg.FamilyWeights pool with its pick weights.
+// weights is nil for uniform pools, else parallel to names. The returned
+// slices are shared and must not be mutated.
+func (r *Registry) ExplorableFamilies(cfg GenConfig) (names []string, weights []int, err error) {
+	if cfg.FamilyWeights != "" {
+		if cfg.Families != "" {
+			return nil, nil, fmt.Errorf("scenario: Families and FamilyWeights are mutually exclusive (the weighted list is the pool)")
+		}
+		wp, err := r.weightedFamilies(cfg.FamilyWeights)
+		if err != nil {
+			return nil, nil, err
+		}
+		return wp.names, wp.weights, nil
+	}
+	pool, err := r.explorableFamilies(cfg.Families)
+	return pool, nil, err
+}
+
+// ValidateSpec checks a spec against this registry exactly like running
+// it would — Spec.Validate with names resolved here instead of the
+// process default. The searcher's mutation operators gate candidates on
+// it so an invalid mutant never reaches the engine as an error verdict.
+func (r *Registry) ValidateSpec(s Spec) error {
+	return validateForRun(s, RunOptions{Registry: r})
+}
+
+// HorizonFor returns the run horizon the samplers would assign the
+// family at ring size n and parameter point p. The searcher re-derives
+// horizons after mutating a spec, so a mutation can never manufacture a
+// vacuous violation by shrinking the run window under the family's own
+// policy.
+func (r *Registry) HorizonFor(family string, n int, p Params) (int, error) {
+	d, err := r.familyOrErr(family)
+	if err != nil {
+		return 0, err
+	}
+	return d.horizonFor(n, p), nil
+}
+
+// confineLimit resolves the distinct-node bound the confine property
+// enforces for a family — the descriptor's limit, defaulting to 3
+// exactly like the property implementation.
+func (r *Registry) confineLimit(family string) int {
+	if d, ok := r.Family(family); ok && d.ConfineLimit > 0 {
+		return d.ConfineLimit
+	}
+	return 3
+}
+
+// ParamValue extracts a declared parameter field from the flat bag by
+// its canonical name ("p", "up", "down", "delta", "edge", "from",
+// "period", "t", "cut", "budget").
+func ParamValue(p Params, name string) (float64, bool) { return paramValue(p, name) }
+
+// SetParamValue writes a declared parameter field by canonical name:
+// float parameters take v as-is, integer parameters truncate it. It
+// returns false for unknown names, leaving p untouched.
+func SetParamValue(p *Params, name string, v float64) bool {
+	switch name {
+	case "p":
+		p.P = v
+	case "up":
+		p.Up = v
+	case "down":
+		p.Down = v
+	case "delta":
+		p.Delta = int(v)
+	case "edge":
+		p.Edge = int(v)
+	case "from":
+		p.From = int(v)
+	case "period":
+		p.Period = int(v)
+	case "t":
+		p.T = int(v)
+	case "cut":
+		p.Cut = int(v)
+	case "budget":
+		p.Budget = int(v)
+	default:
+		return false
+	}
+	return true
 }
 
 // Expectation derives the enforced property for a spec whose Expect field

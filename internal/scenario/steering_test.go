@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pef/internal/prng"
+)
+
+// Equal-weight FamilyWeights must be draw-for-draw identical to the
+// unweighted Families pool: pickWeighted spends exactly one Intn either
+// way, so biasing the pool never shifts the sampling stream.
+func TestFamilyWeightsUniformBitCompatible(t *testing.T) {
+	plain, err := Generate("registered", GenConfig{Families: "bernoulli,periodic"}, 42, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Generate("registered", GenConfig{FamilyWeights: "bernoulli=1,periodic=1"}, 42, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != weighted[i] {
+			t.Fatalf("spec %d diverges: %s vs %s", i, plain[i].ID(), weighted[i].ID())
+		}
+	}
+}
+
+// A heavily skewed weighting must actually skew the family mix, while
+// still only drawing registered explorable families.
+func TestFamilyWeightsSkew(t *testing.T) {
+	specs, err := Generate("registered", GenConfig{FamilyWeights: "bernoulli=99,periodic=1"}, 7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, s := range specs {
+		count[s.Family]++
+	}
+	if len(count) > 2 {
+		t.Fatalf("weighted pool leaked families: %v", count)
+	}
+	if count["bernoulli"] < 150 {
+		t.Fatalf("99:1 weighting produced only %d/200 bernoulli specs", count["bernoulli"])
+	}
+}
+
+// FamilyWeights validation must reject malformed lists loudly.
+func TestFamilyWeightsValidation(t *testing.T) {
+	for _, bad := range []struct{ weights, wantErr string }{
+		{"bernoulli", "family=weight"},
+		{"bernoulli=0", "weight"},
+		{"bernoulli=-2", "weight"},
+		{"bernoulli=1000001", "weight"},
+		{"bernoulli=x", "weight"},
+		{"nosuch=1", "explorable"},
+		{"confine-one=1", "explorable"},
+		{"bernoulli=1,bernoulli=2", "duplicate"},
+	} {
+		_, err := Generate("registered", GenConfig{FamilyWeights: bad.weights}, 1, 1)
+		if err == nil {
+			t.Errorf("FamilyWeights %q accepted", bad.weights)
+			continue
+		}
+		if !strings.Contains(err.Error(), bad.wantErr) {
+			t.Errorf("FamilyWeights %q: error %q lacks %q", bad.weights, err, bad.wantErr)
+		}
+	}
+	if _, err := Generate("registered", GenConfig{Families: "bernoulli", FamilyWeights: "bernoulli=1"}, 1, 1); err == nil {
+		t.Error("Families and FamilyWeights accepted together")
+	}
+}
+
+// StreamSpecs must yield one verdict per input spec, in input order,
+// identical to running each spec alone — for any worker count.
+func TestStreamSpecsOrderAndIdentity(t *testing.T) {
+	specs, err := Generate("uniform", GenConfig{}, 9, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Verdict, len(specs))
+	for i, s := range specs {
+		want[i] = Run(s)
+	}
+	for _, workers := range []int{1, 4} {
+		i := 0
+		for v, serr := range StreamSpecs(context.Background(), CampaignConfig{Workers: workers}, specs) {
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			if i >= len(specs) {
+				t.Fatal("more verdicts than specs")
+			}
+			if v.ID != want[i].ID || v.Outcome != want[i].Outcome || v.OK != want[i].OK ||
+				v.CoverTime != want[i].CoverTime || v.MaxGap != want[i].MaxGap {
+				t.Fatalf("workers=%d verdict %d diverges: %+v vs %+v", workers, i, v, want[i])
+			}
+			i++
+		}
+		if i != len(specs) {
+			t.Fatalf("workers=%d yielded %d of %d verdicts", workers, i, len(specs))
+		}
+	}
+}
+
+// SampleFamilySpec must reject non-explorable families and be a pure
+// function of the source state.
+func TestSampleFamilySpec(t *testing.T) {
+	r := DefaultRegistry()
+	if _, err := r.SampleFamilySpec(GenConfig{}, FamilyConfineOne, prng.NewSource(1)); err == nil {
+		t.Error("confinement adversary accepted as explorable sample")
+	}
+	if _, err := r.SampleFamilySpec(GenConfig{}, "nosuch", prng.NewSource(1)); err == nil {
+		t.Error("unknown family accepted")
+	}
+	a, err := r.SampleFamilySpec(GenConfig{}, "bernoulli", prng.NewSource(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.SampleFamilySpec(GenConfig{}, "bernoulli", prng.NewSource(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equal sources sampled different specs: %s vs %s", a.ID(), b.ID())
+	}
+	if a.Expect != ExpectExplore {
+		t.Fatalf("explorable sample carries expectation %q", a.Expect)
+	}
+	if err := r.ValidateSpec(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Margins must reproduce exactly the headrooms campaign aggregation
+// records, and flag violations as negative.
+func TestMargins(t *testing.T) {
+	r := DefaultRegistry()
+	v := Verdict{
+		Spec:      Spec{Family: "bernoulli", Horizon: 1000},
+		Expect:    ExpectExplore,
+		Outcome:   "explored",
+		CoverTime: 400,
+		MaxGap:    100,
+	}
+	ms := r.Margins(v)
+	if len(ms) != 2 {
+		t.Fatalf("want 2 margins, got %+v", ms)
+	}
+	if ms[0].Metric != "coverSlack" || ms[0].Value != 600 || ms[0].Rel != 600 {
+		t.Errorf("coverSlack margin %+v", ms[0])
+	}
+	if ms[1].Metric != "gapHeadroom" || ms[1].Value != 400 || ms[1].Rel != 800 {
+		t.Errorf("gapHeadroom margin %+v", ms[1])
+	}
+	conf := Verdict{
+		Spec:     Spec{Family: FamilyConfineTwo},
+		Expect:   ExpectConfine,
+		Distinct: 5,
+	}
+	cms := r.Margins(conf)
+	if len(cms) != 1 || cms[0].Metric != "confineHeadroom" || cms[0].Value >= 0 {
+		t.Errorf("violated confinement margins %+v", cms)
+	}
+	if got := r.Margins(Verdict{Err: "boom"}); got != nil {
+		t.Errorf("errored verdict has margins %+v", got)
+	}
+}

@@ -1,0 +1,60 @@
+package search
+
+import (
+	"math"
+
+	"pef/internal/prng"
+)
+
+// ucbC is the UCB1 exploration constant (the classical sqrt(2)).
+var ucbC = math.Sqrt2
+
+// pickArm chooses the bandit arm for post-warmup explore slot (g, i):
+// UCB1 over the per-mille reward means, with the generation's pending
+// in-flight pulls (pend) counted into each arm's pull total so one
+// generation's slots spread instead of dog-piling the current best arm.
+// Ties — exact score equality, common right after warmup — break by a
+// hash-keyed draw on the bandit stream, so the choice is deterministic
+// but not positionally biased toward low arm indices.
+func (sr *searcher) pickArm(g, i int, pend []int) int {
+	total := 0
+	for a := range sr.arms {
+		total += sr.arms[a].Pulls + pend[a]
+	}
+	if total < 1 {
+		total = 1
+	}
+	logTotal := math.Log(float64(total))
+	best := math.Inf(-1)
+	var ties []int
+	for a := range sr.arms {
+		n := sr.arms[a].Pulls + pend[a]
+		var score float64
+		if n == 0 {
+			// Never-pulled arms are explored before any scored one.
+			score = math.Inf(1)
+		} else {
+			// Mean reward over *folded* pulls (pending ones carry no
+			// reward yet), scaled to [0, 1]; width over all attributed
+			// pulls.
+			mean := 0.0
+			if sr.arms[a].Pulls > 0 {
+				mean = float64(sr.arms[a].RewardMilli) / float64(sr.arms[a].Pulls) / 1000
+			}
+			score = mean + ucbC*math.Sqrt(logTotal/float64(n))
+		}
+		switch {
+		case score > best:
+			best = score
+			ties = ties[:0]
+			ties = append(ties, a)
+		case score == best:
+			ties = append(ties, a)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	u := prng.Hash3(sr.cfg.Seed, streamBandit, slotKey(g, i))
+	return ties[int(u%uint64(len(ties)))]
+}

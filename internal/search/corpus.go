@@ -1,0 +1,65 @@
+package search
+
+import "sort"
+
+// mergeCorpus folds one generation's surviving candidates into the
+// bounded near-violation corpus: the CorpusSize lowest-margin surviving
+// specs seen so far, deduplicated by canonical spec ID and held in a
+// deterministic total order (ascending per-mille margin, then raw
+// margin, then spec ID) so corpus[0] is always the tightest survivor and
+// checkpointed corpora resume bit-exactly.
+func (sr *searcher) mergeCorpus(cands []CorpusEntry) {
+	if len(cands) == 0 {
+		return
+	}
+	for _, c := range cands {
+		id := c.Spec.ID()
+		if sr.corpusIdx[id] {
+			// A spec rerun is deterministic, so a duplicate ID carries the
+			// same margins; keep the incumbent entry.
+			continue
+		}
+		sr.corpusIdx[id] = true
+		sr.corpus = append(sr.corpus, c)
+	}
+	ids := make([]string, len(sr.corpus))
+	for i := range sr.corpus {
+		ids[i] = sr.corpus[i].Spec.ID()
+	}
+	sort.Sort(&corpusOrder{entries: sr.corpus, ids: ids})
+	if len(sr.corpus) > sr.cfg.CorpusSize {
+		// Evicted specs may re-enter later if a mutation rediscovers them;
+		// the index tracks membership, not history, so an uninterrupted
+		// run and a checkpoint-resumed one (which only knows the surviving
+		// corpus) make identical decisions.
+		for _, e := range sr.corpus[sr.cfg.CorpusSize:] {
+			delete(sr.corpusIdx, e.Spec.ID())
+		}
+		sr.corpus = sr.corpus[:sr.cfg.CorpusSize]
+	}
+}
+
+// corpusOrder sorts corpus entries with their precomputed IDs in lockstep
+// — a total order, since IDs are unique within the corpus.
+type corpusOrder struct {
+	entries []CorpusEntry
+	ids     []string
+}
+
+func (o *corpusOrder) Len() int { return len(o.entries) }
+
+func (o *corpusOrder) Less(i, j int) bool {
+	a, b := o.entries[i], o.entries[j]
+	if a.Rel != b.Rel {
+		return a.Rel < b.Rel
+	}
+	if a.Margin != b.Margin {
+		return a.Margin < b.Margin
+	}
+	return o.ids[i] < o.ids[j]
+}
+
+func (o *corpusOrder) Swap(i, j int) {
+	o.entries[i], o.entries[j] = o.entries[j], o.entries[i]
+	o.ids[i], o.ids[j] = o.ids[j], o.ids[i]
+}

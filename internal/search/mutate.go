@@ -1,0 +1,130 @@
+package search
+
+import (
+	"math"
+
+	"pef/internal/prng"
+	"pef/internal/scenario"
+)
+
+// mutate plans mutation slot (g, j): it picks a corpus parent on the
+// mutation-pick stream — biased toward the tight end of the sorted
+// corpus by drawing the minimum of two uniform indices — and walks it
+// one step through the parameter space on the per-slot mutation stream.
+// Operators: ring nudges, team nudges, declared-parameter jiggles within
+// the family's registered ranges, and run reseeds. Every candidate
+// re-derives its horizon under the family's own policy (so a mutation
+// can never manufacture a vacuous violation by shrinking the run
+// window), re-derives its expectation, and must pass full registry
+// validation; after a bounded number of rejected attempts the slot falls
+// back to a plain reseed of the parent, which is always valid.
+func (sr *searcher) mutate(g, j int) scenario.Spec {
+	h := prng.Hash3(sr.cfg.Seed, streamMutPick, slotKey(g, j))
+	a := int(h % uint64(len(sr.corpus)))
+	b := int((h >> 32) % uint64(len(sr.corpus)))
+	parent := sr.corpus[min(a, b)].Spec
+	src := prng.NewSource(prng.Hash3(sr.cfg.Seed, streamMutDraw, slotKey(g, j)))
+	gcfg := sr.cfg.Gen.WithDefaults()
+	for attempt := 0; attempt < 8; attempt++ {
+		if s, ok := sr.mutateOnce(parent, src, gcfg); ok {
+			return s
+		}
+	}
+	s := parent
+	s.Seed = src.Uint64()
+	return s
+}
+
+// mutateOnce applies one operator draw to the parent, reporting whether
+// the candidate survived validation.
+func (sr *searcher) mutateOnce(parent scenario.Spec, src *prng.Source, gcfg scenario.GenConfig) (scenario.Spec, bool) {
+	s := parent
+	switch src.Intn(4) {
+	case 0: // ring nudge: ±1..2 nodes within the sampler's bounds
+		lo := gcfg.MinRing
+		if lo < 4 {
+			lo = 4
+		}
+		s.Ring = clampInt(s.Ring+src.Intn(5)-2, lo, gcfg.MaxRing)
+		if s.Robots > s.Ring-1 {
+			s.Robots = s.Ring - 1
+		}
+	case 1: // team nudge: ±1 robot within [3, min(MaxRobots, n-1)]
+		hi := gcfg.MaxRobots
+		if hi > s.Ring-1 {
+			hi = s.Ring - 1
+		}
+		delta := 1
+		if src.Bool(0.5) {
+			delta = -1
+		}
+		s.Robots = clampInt(s.Robots+delta, 3, hi)
+	case 2: // parameter jiggle within the family's declared range
+		d, ok := sr.reg.Family(s.Family)
+		if !ok || len(d.Params) == 0 {
+			return s, false
+		}
+		f := d.Params[src.Intn(len(d.Params))]
+		cur, ok := scenario.ParamValue(s.Params, f.Name)
+		if !ok {
+			return s, false
+		}
+		var next float64
+		if f.Kind == scenario.ParamFloat {
+			// Hundredth-quantized steps, like the samplers' probIn, so
+			// spec IDs and JSON stay compact.
+			step := float64(src.Intn(5)+1) / 100
+			if src.Bool(0.5) {
+				step = -step
+			}
+			next = math.Round((cur+step)*100) / 100
+		} else {
+			step := float64(src.Intn(3) + 1)
+			if src.Bool(0.5) {
+				step = -step
+			}
+			next = cur + step
+		}
+		if next < f.Min {
+			next = f.Min
+		}
+		if !math.IsInf(f.Max, 1) && next > f.Max {
+			next = f.Max
+		}
+		if !scenario.SetParamValue(&s.Params, f.Name, next) {
+			return s, false
+		}
+	default: // reseed: same point, different run randomness
+		s.Seed = src.Uint64()
+	}
+	if s != parent {
+		// Structural mutations shift the run stream anyway; give every
+		// changed candidate its own seed so a (ring, params) revisit still
+		// explores new executions.
+		s.Seed = src.Uint64()
+	}
+	h, err := sr.reg.HorizonFor(s.Family, s.Ring, s.Params)
+	if err != nil {
+		return s, false
+	}
+	s.Horizon = h
+	exp, err := sr.reg.Expectation(s)
+	if err != nil {
+		return s, false
+	}
+	s.Expect = exp
+	if err := sr.reg.ValidateSpec(s); err != nil {
+		return s, false
+	}
+	return s, true
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
